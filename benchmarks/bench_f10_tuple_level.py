@@ -1,0 +1,72 @@
+"""Fig. 10 — tuple-level recall under the d% / |Dm| / n% sweeps.
+
+Paper's shapes: (a,d) recall_t at k=1 tracks d% and rises with it;
+(b,e) k=1 is insensitive to |Dm| (it equals d%); (c,f) recall is
+insensitive to the noise rate.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_DBLP, BENCH_HOSP, emit
+from repro.experiments.config import load_workload
+from repro.experiments.figures import fig10_tuple_recall
+from repro.experiments.runner import run_stream
+from repro.experiments.tables import format_table
+
+
+@pytest.mark.parametrize("config,name", [
+    (BENCH_HOSP.with_(input_size=150), "hosp"),
+    (BENCH_DBLP.with_(input_size=150), "dblp"),
+])
+def test_f10_vary_duplicate_rate(benchmark, config, name):
+    headers, rows = fig10_tuple_recall(config, "d%")
+    emit(f"f10_d_{name}", format_table(
+        headers, rows, f"Fig. 10(a/d) ({name}): recall_t vs d%"
+    ))
+    k1 = [row[1] for row in rows]
+    # k=1 recall tracks the duplicate rate: higher d%, higher recall.
+    assert k1[-1] > k1[0]
+    for (d, *recalls) in rows:
+        # ≈ d% plus the tuples whose errors all fell inside the asserted /
+        # rule-fixable attributes (a larger share on the narrow DBLP schema).
+        assert d - 0.17 <= recalls[0] <= d + 0.35
+    _bench_one_stream(benchmark, config)
+
+
+@pytest.mark.parametrize("config,name", [
+    (BENCH_HOSP.with_(input_size=120), "hosp"),
+])
+def test_f10_vary_master_size(benchmark, config, name):
+    headers, rows = fig10_tuple_recall(config, "|Dm|")
+    emit(f"f10_dm_{name}", format_table(
+        headers, rows, f"Fig. 10(b/e) ({name}): recall_t vs |Dm|"
+    ))
+    k1 = [row[1] for row in rows]
+    # k=1 is governed by d%, not |Dm| (paper: "recall_t is 0.3 when k=1,
+    # exactly the same as d%").
+    assert max(k1) - min(k1) < 0.2
+    _bench_one_stream(benchmark, config)
+
+
+@pytest.mark.parametrize("config,name", [
+    (BENCH_HOSP.with_(input_size=120), "hosp"),
+    (BENCH_DBLP.with_(input_size=120), "dblp"),
+])
+def test_f10_vary_noise_rate(benchmark, config, name):
+    headers, rows = fig10_tuple_recall(config, "n%")
+    emit(f"f10_n_{name}", format_table(
+        headers, rows, f"Fig. 10(c/f) ({name}): recall_t vs n%"
+    ))
+    final = [row[-1] for row in rows]
+    # Insensitive to noise: the k=4 recall stays (near-)complete throughout
+    # (a rare 5th hosp round keeps a couple of tuples open at k=4).
+    assert all(v >= 0.97 for v in final)
+    assert max(final) - min(final) < 0.05
+    _bench_one_stream(benchmark, config)
+
+
+def _bench_one_stream(benchmark, config):
+    bundle, data = load_workload(config.with_(input_size=30))
+    benchmark.pedantic(
+        lambda: run_stream(bundle, data), rounds=2, iterations=1
+    )

@@ -1,0 +1,63 @@
+"""Fig. 12 — per-round latency: CertainFix vs CertainFix⁺ (BDD cache).
+
+Paper's shapes: (a,b) both scale with |Dm|, the BDD variant substantially
+cheaper; (c,d) CertainFix is flat in |D| while CertainFix⁺ amortizes as the
+cache warms ("when |D| > 100 ... the average elapsed time remains
+unchanged").
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_DBLP, BENCH_HOSP, emit
+from repro.experiments.config import load_workload
+from repro.experiments.figures import fig12_scalability
+from repro.experiments.runner import run_stream
+from repro.experiments.tables import format_table
+
+
+@pytest.mark.parametrize("config,name", [
+    (BENCH_HOSP.with_(input_size=80), "hosp"),
+    (BENCH_DBLP.with_(input_size=80), "dblp"),
+])
+def test_f12_vary_master_size(benchmark, config, name):
+    headers, rows = fig12_scalability(config, "|Dm|")
+    emit(f"f12_dm_{name}", format_table(
+        headers, rows,
+        f"Fig. 12(a/b) ({name}): ms per interaction round vs |Dm|",
+    ))
+    plain = [row[1] for row in rows]
+    cached = [row[2] for row in rows]
+    # CertainFix latency grows with |Dm| (suggestion recomputation sweeps
+    # the master); the BDD cache wins at every size and by a wide margin
+    # at the largest.
+    assert plain[-1] > plain[0]
+    assert all(c <= p for p, c in zip(plain, cached))
+    assert cached[-1] < plain[-1] / 3
+    _bench_round(benchmark, config, use_bdd=True)
+
+
+@pytest.mark.parametrize("config,name", [
+    (BENCH_HOSP.with_(master_size=1200), "hosp"),
+])
+def test_f12_vary_input_size(benchmark, config, name):
+    headers, rows = fig12_scalability(config, "|D|")
+    emit(f"f12_d_{name}", format_table(
+        headers, rows,
+        f"Fig. 12(c/d) ({name}): ms per interaction round vs |D|",
+    ))
+    cached = [row[2] for row in rows]
+    hit_rates = [row[3] for row in rows]
+    # The cache warms: hit rate grows with the stream length.
+    assert hit_rates == sorted(hit_rates)
+    assert hit_rates[-1] > 0.9
+    # Warm-cache latency beats the cold stream's.
+    assert cached[-1] <= cached[0] * 1.5
+    _bench_round(benchmark, config.with_(input_size=40), use_bdd=False)
+
+
+def _bench_round(benchmark, config, use_bdd):
+    bundle, data = load_workload(config.with_(input_size=30))
+    benchmark.pedantic(
+        lambda: run_stream(bundle, data, use_bdd=use_bdd),
+        rounds=2, iterations=1,
+    )

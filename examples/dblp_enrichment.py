@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""DBLP record enrichment and a head-to-head with heuristic repair.
+
+The paper's second scenario: bibliographic records with missing homepages,
+wrong venues and typo'd metadata.  Two repair strategies run on the same
+dirty stream:
+
+* **CertainFix** — the paper's method: asks the user for a handful of
+  assertions, fixes only what the rules and master data *guarantee*;
+* **IncRep** — the CFD-based heuristic baseline of Cong et al. [14]:
+  repairs everything it can, with no certainty, mis-repairing under noise.
+
+Run:  python examples/dblp_enrichment.py [--noise PCT]
+"""
+
+import argparse
+
+from repro import CertainFix, IncRep, SimulatedUser
+from repro.datasets import make_dblp, make_dirty_dataset
+from repro.metrics import aggregate, evaluate_repair
+
+
+def run_certainfix(bundle, data):
+    engine = CertainFix(bundle.rules, bundle.master, bundle.schema,
+                        use_bdd=True)
+    evaluations = []
+    for dirty_tuple in data:
+        oracle = SimulatedUser(dirty_tuple.clean)
+        session = engine.fix(dirty_tuple.dirty, oracle)
+        evaluations.append(
+            evaluate_repair(dirty_tuple.dirty, dirty_tuple.clean,
+                            session.final, session.attrs_asserted_by_user)
+        )
+    return aggregate(evaluations)
+
+
+def run_increp(bundle, data):
+    increp = IncRep(bundle.rules, bundle.master, bundle.schema)
+    evaluations = []
+    for dirty_tuple in data:
+        result = increp.repair(dirty_tuple.dirty)
+        evaluations.append(
+            evaluate_repair(dirty_tuple.dirty, dirty_tuple.clean,
+                            result.row, user_asserted=())
+        )
+    return aggregate(evaluations)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tuples", type=int, default=150)
+    parser.add_argument("--noise", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print("Generating DBLP master data (papers ⋈ proceedings ⋈ homepages)...")
+    dblp = make_dblp(num_papers=1200, num_authors=400, num_venues=60,
+                     seed=args.seed)
+    print(f"  |Dm| = {len(dblp.master)}, {len(dblp.rules)} editing rules "
+          f"(incl. the cross-attribute homepage rules φ2/φ4)")
+
+    data = make_dirty_dataset(dblp, size=args.tuples, duplicate_rate=0.3,
+                              noise_rate=args.noise, seed=args.seed)
+    errors = sum(len(dt.erroneous_attrs) for dt in data)
+    print(f"\nDirty stream: {len(data)} tuples, {errors} attribute errors "
+          f"(n% = {args.noise:.0%})")
+
+    print("\nRunning CertainFix (interactive, certainty-guaranteed)...")
+    ours = run_certainfix(dblp, data)
+    print("Running IncRep (automatic, heuristic)...")
+    baseline = run_increp(dblp, data)
+
+    print(f"\n{'':24}{'CertainFix':>12}{'IncRep':>12}")
+    for label, attr in (
+        ("attribute recall", "recall_a"),
+        ("precision", "precision_a"),
+        ("F-measure", "f_measure"),
+    ):
+        print(f"{label:<24}{getattr(ours, attr):>12.3f}"
+              f"{getattr(baseline, attr):>12.3f}")
+    print(f"{'wrong repairs':<24}{ours.wrong_attrs:>12}{baseline.wrong_attrs:>12}")
+
+    print("\nCertainFix never writes a wrong value (precision 1.0); IncRep")
+    print("trades correctness for autonomy and mis-repairs under noise —")
+    print("exactly the contrast of the paper's Fig. 11.")
+
+
+if __name__ == "__main__":
+    main()

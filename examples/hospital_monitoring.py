@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Hospital data-entry monitoring (the paper's HOSP scenario, Sect. 6).
+
+Simulates the paper's data-monitoring deployment: tuples arrive at the point
+of entry carrying typos, swapped values and missing fields; CertainFix asks
+a (simulated) clerk to vouch for a couple of attributes per round, fixes
+everything the editing rules and master data entail, and guarantees each
+committed tuple is correct.
+
+Run:  python examples/hospital_monitoring.py [--tuples N] [--noise PCT]
+"""
+
+import argparse
+from collections import Counter
+
+from repro import CertainFix, SimulatedUser
+from repro.datasets import make_dirty_dataset, make_hosp
+from repro.metrics import aggregate, evaluate_repair
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tuples", type=int, default=150)
+    parser.add_argument("--noise", type=float, default=0.2)
+    parser.add_argument("--duplicate-rate", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    print("Generating HOSP master data (three base tables, natural-joined)...")
+    hosp = make_hosp(num_hospitals=150, num_measures=10, seed=args.seed)
+    print(f"  |Dm| = {len(hosp.master)} tuples over "
+          f"{len(hosp.schema)} attributes, {len(hosp.rules)} editing rules")
+
+    engine = CertainFix(hosp.rules, hosp.master, hosp.schema, use_bdd=True)
+    regions = engine.regions
+    print(f"\nPrecomputed certain regions (CompCRegion):")
+    for candidate in regions[:3]:
+        print(f"  {candidate.describe()}")
+    print(f"Round-1 suggestion: assert {list(engine.initial_region.region.attrs)}")
+
+    data = make_dirty_dataset(
+        hosp, size=args.tuples, duplicate_rate=args.duplicate_rate,
+        noise_rate=args.noise, seed=args.seed,
+    )
+    print(f"\nMonitoring {len(data)} dirty tuples "
+          f"(d% = {args.duplicate_rate:.0%}, n% = {args.noise:.0%})...")
+
+    evaluations = []
+    rounds = Counter()
+    first_shown = False
+    for dirty_tuple in data:
+        oracle = SimulatedUser(dirty_tuple.clean)
+        session = engine.fix(dirty_tuple.dirty, oracle)
+        rounds[session.round_count] += 1
+        evaluations.append(
+            evaluate_repair(dirty_tuple.dirty, dirty_tuple.clean,
+                            session.final, session.attrs_asserted_by_user)
+        )
+        if not first_shown and session.round_count >= 3:
+            first_shown = True
+            print(f"\nA {session.round_count}-round session "
+                  f"(a hospital not in the master data):")
+            for r in session.rounds:
+                fixed = ", ".join(r.fixed_by_rules) or "-"
+                print(f"  round {r.index}: user vouches for "
+                      f"{list(r.suggested)}; rules then fix [{fixed}]")
+
+    metrics = aggregate(evaluations)
+    print(f"\nInteraction rounds histogram: {dict(sorted(rounds.items()))}")
+    print(f"tuple-level recall : {metrics.recall_t:.3f}")
+    print(f"attr-level recall  : {metrics.recall_a:.3f} "
+          f"(rule-made corrections only)")
+    print(f"precision          : {metrics.precision_a:.3f} "
+          f"(the certain-fix guarantee)")
+    print(f"F-measure          : {metrics.f_measure:.3f}")
+    print(f"user corrections   : {metrics.user_corrected_attrs} attributes")
+    stats = engine.cache_stats
+    print(f"Suggest+ BDD cache : {stats.hits} hits / {stats.misses} misses "
+          f"({stats.hit_rate:.1%} hit rate)")
+    assert metrics.precision_a == 1.0
+    print("\nEvery committed tuple equals its ground truth. ✓")
+
+
+if __name__ == "__main__":
+    main()

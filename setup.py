@@ -1,0 +1,7 @@
+"""Legacy shim: lets ``pip install -e . --no-use-pep517`` work in offline
+environments that lack the ``wheel`` package.  All metadata lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

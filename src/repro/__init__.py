@@ -1,0 +1,159 @@
+"""repro — a reproduction of *Towards Certain Fixes with Editing Rules and
+Master Data* (Fan, Li, Ma, Tang, Yu; VLDB 2010 / VLDB Journal 2012).
+
+The library implements the paper end to end:
+
+* the relational substrate (:mod:`repro.engine`);
+* editing rules, regions and the certain-fix semantics (:mod:`repro.core`);
+* the static analyses — consistency, coverage, direct fixes, the Z-problems
+  — with the paper's hardness reductions as test oracles
+  (:mod:`repro.analysis`, :mod:`repro.reductions`);
+* the interactive monitoring framework — CertainFix / CertainFix⁺ with
+  TransFix, Suggest and the BDD cache (:mod:`repro.repair`);
+* the CFD substrate and the IncRep repair baseline
+  (:mod:`repro.constraints`);
+* the HOSP / DBLP dataset generators and the dirty-data generator
+  (:mod:`repro.datasets`), plus evaluation metrics (:mod:`repro.metrics`).
+
+Quickstart::
+
+    from repro import make_running_example, chase
+
+    ex = make_running_example()
+    outcome = chase(ex.inputs["t1"], ("zip", "phn", "type"),
+                    ex.rules, ex.master)
+    print(outcome.assignment["FN"])   # 'Robert' — Bob was standardized
+
+See ``examples/`` for end-to-end monitoring sessions and ``benchmarks/``
+for the harnesses regenerating every table and figure of the paper.
+"""
+
+from repro.engine import (
+    Attribute,
+    Domain,
+    INT,
+    NULL,
+    Relation,
+    RelationSchema,
+    Row,
+    STRING,
+    UNKNOWN,
+    finite_domain,
+    natural_join,
+)
+from repro.core import (
+    ANY,
+    ChaseOutcome,
+    Conflict,
+    Const,
+    EditingRule,
+    NotConst,
+    PatternTableau,
+    PatternTuple,
+    Region,
+    Wildcard,
+    chase,
+    const,
+    expand_rule_family,
+    neq,
+    region_apply,
+    wildcard,
+)
+from repro.analysis import (
+    DependencyGraph,
+    check_region,
+    explore_fixes,
+    is_certain_region,
+    is_consistent,
+    is_direct_certain_region,
+    is_direct_consistent,
+    z_counting,
+    z_minimum_exact,
+    z_minimum_greedy,
+    z_validating,
+)
+from repro.repair import (
+    CertainFix,
+    FixSession,
+    SimulatedUser,
+    comp_c_region,
+    g_region,
+    suggest,
+    transfix,
+)
+from repro.constraints import CFD, FD, IncRep, cfds_from_rules, levenshtein
+from repro.datasets import (
+    make_dblp,
+    make_dirty_dataset,
+    make_hosp,
+    make_running_example,
+)
+from repro.metrics import AggregateMetrics, aggregate, evaluate_repair
+from repro.discovery import DiscoveredRule, discover_editing_rules
+from repro.repair.database_repair import DatabaseRepairReport, repair_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "AggregateMetrics",
+    "Attribute",
+    "CFD",
+    "CertainFix",
+    "ChaseOutcome",
+    "Conflict",
+    "Const",
+    "DatabaseRepairReport",
+    "DependencyGraph",
+    "DiscoveredRule",
+    "Domain",
+    "EditingRule",
+    "FD",
+    "FixSession",
+    "INT",
+    "IncRep",
+    "NULL",
+    "NotConst",
+    "PatternTableau",
+    "PatternTuple",
+    "Region",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "STRING",
+    "SimulatedUser",
+    "UNKNOWN",
+    "Wildcard",
+    "aggregate",
+    "cfds_from_rules",
+    "chase",
+    "check_region",
+    "comp_c_region",
+    "discover_editing_rules",
+    "const",
+    "evaluate_repair",
+    "expand_rule_family",
+    "explore_fixes",
+    "finite_domain",
+    "g_region",
+    "is_certain_region",
+    "is_consistent",
+    "is_direct_certain_region",
+    "is_direct_consistent",
+    "levenshtein",
+    "make_dblp",
+    "make_dirty_dataset",
+    "make_hosp",
+    "make_running_example",
+    "natural_join",
+    "neq",
+    "region_apply",
+    "repair_database",
+    "suggest",
+    "transfix",
+    "wildcard",
+    "z_counting",
+    "z_minimum_exact",
+    "z_minimum_greedy",
+    "z_validating",
+]

@@ -1,0 +1,81 @@
+"""Static analyses of editing rules (Sect. 4 of the paper).
+
+* :mod:`repro.analysis.active_domain` — active domains and fresh values
+  (the ``dom`` construction in the proof of Theorem 1).
+* :mod:`repro.analysis.chase` — exhaustive order-exploring chase, the
+  ground-truth oracle for the batched checker of :mod:`repro.core.fixes`.
+* :mod:`repro.analysis.closure` — attribute-level closure / one-hop covers.
+* :mod:`repro.analysis.consistency` — the consistency problem (Thm. 1/4).
+* :mod:`repro.analysis.coverage` — the coverage problem / certain regions
+  (Thm. 2/4).
+* :mod:`repro.analysis.direct_fixes` — PTIME checks for direct fixes via
+  SQL-style queries (Thm. 5).
+* :mod:`repro.analysis.zproblems` — Z-validating, Z-counting, Z-minimum
+  (Thms. 6/9/12, Props. 8/11/15) with exact and greedy solvers.
+* :mod:`repro.analysis.dependency_graph` — the rule dependency graph
+  (Sect. 5.1).
+"""
+
+from repro.analysis.active_domain import (
+    FreshValue,
+    attribute_active_domain,
+    global_active_domain,
+    instantiate_condition,
+    read_attrs,
+)
+from repro.analysis.chase import ExploreResult, explore_fixes
+from repro.analysis.closure import (
+    attribute_closure,
+    mandatory_attrs,
+    one_hop_cover,
+)
+from repro.analysis.consistency import (
+    AnalysisExplosion,
+    PatternCheck,
+    RegionReport,
+    check_pattern,
+    check_region,
+    is_consistent,
+)
+from repro.analysis.coverage import coverage_report, is_certain_region
+from repro.analysis.dependency_graph import DependencyGraph
+from repro.analysis.direct_fixes import (
+    direct_consistency_queries,
+    is_direct_consistent,
+    is_direct_certain_region,
+)
+from repro.analysis.zproblems import (
+    z_counting,
+    z_minimum_exact,
+    z_minimum_greedy,
+    z_validating,
+)
+
+__all__ = [
+    "AnalysisExplosion",
+    "DependencyGraph",
+    "ExploreResult",
+    "FreshValue",
+    "PatternCheck",
+    "RegionReport",
+    "attribute_active_domain",
+    "attribute_closure",
+    "check_pattern",
+    "check_region",
+    "coverage_report",
+    "direct_consistency_queries",
+    "explore_fixes",
+    "global_active_domain",
+    "instantiate_condition",
+    "is_certain_region",
+    "is_consistent",
+    "is_direct_certain_region",
+    "is_direct_consistent",
+    "mandatory_attrs",
+    "one_hop_cover",
+    "read_attrs",
+    "z_counting",
+    "z_minimum_exact",
+    "z_minimum_greedy",
+    "z_validating",
+]

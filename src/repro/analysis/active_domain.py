@@ -1,0 +1,130 @@
+"""Active domains and fresh values.
+
+The proof of Theorem 1 defines ``dom`` as "the set of all constants appearing
+in Dm or Σ, and an additional distinct constant that is not in dom".  The
+analyses quantify over *all* input tuples; restricting attention to active
+values plus one fresh value per comparison context is sound because any two
+values outside the active domain are indistinguishable to Σ and Dm.
+
+Two refinements are implemented (both are pure optimizations; tests validate
+them against the reductions of Sect. 4):
+
+* **per-attribute domains** — only values that can *interact* with an
+  attribute matter: pattern constants on it, master values of master
+  attributes it is matched against, and master values flowing into it;
+* **negation-aware fresh values** — instantiating a negated pattern ``ā``
+  over an infinite domain needs a fresh witness *different from a*, even
+  when ``a`` is itself outside the active domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.patterns import PatternValue
+from repro.engine.relation import Relation
+from repro.engine.schema import Domain
+
+
+@dataclass(frozen=True)
+class FreshValue:
+    """A value guaranteed distinct from every active constant.
+
+    Two fresh values are equal iff their tags are equal; no fresh value
+    equals any ordinary constant.
+    """
+
+    tag: str
+
+    def __repr__(self) -> str:
+        return f"<fresh:{self.tag}>"
+
+
+def read_attrs(rules: Iterable) -> set:
+    """R attributes whose *values* the rules can read (lhs and pattern attrs).
+
+    Attributes occurring only as rule targets are written but never read, so
+    their values cannot influence rule applicability; the instantiation
+    machinery skips them.
+    """
+    out = set()
+    for rule in rules:
+        out.update(rule.lhs)
+        out.update(rule.pattern.attrs)
+    return out
+
+
+def global_active_domain(rules: Iterable, master: Relation) -> set:
+    """All constants appearing in Σ's patterns or anywhere in Dm (Thm. 1)."""
+    out = set()
+    for rule in rules:
+        for _, condition in rule.pattern.items():
+            if condition.is_constant or condition.is_negation:
+                out.add(condition.value)
+    for row in master:
+        out.update(row.values)
+    return out
+
+
+def attribute_active_domain(attr: str, rules: Iterable, master: Relation) -> set:
+    """Values that can interact with R attribute *attr*.
+
+    The union of (a) pattern constants on *attr*, (b) master values of every
+    master attribute *attr* is matched against (``λφ(attr)`` for rules with
+    ``attr ∈ lhs(φ)``), and (c) master values flowing into *attr* (``Bm`` of
+    rules with ``rhs(φ) = attr``).
+    """
+    out = set()
+    master_columns = set()
+    for rule in rules:
+        condition = rule.pattern.get(attr)
+        if condition is not None and not condition.is_wildcard:
+            out.add(condition.value)
+        if attr in rule.lhs:
+            master_columns.add(rule.master_attr_of(attr))
+        if rule.rhs == attr:
+            master_columns.add(rule.rhs_m)
+    for column in master_columns:
+        out.update(master.active_values(column))
+    return out
+
+
+def _sort_key(value):
+    return (type(value).__name__, repr(value))
+
+
+def instantiate_condition(
+    condition: PatternValue,
+    active: set,
+    domain: Domain,
+    attr: str,
+) -> list:
+    """Concrete values representing all tuples satisfying *condition*.
+
+    For infinite domains: the matching active values plus one fresh witness
+    (distinct from a negated constant when there is one).  For finite
+    domains: the matching domain values, collapsed to active values plus at
+    most one representative non-active value.
+    """
+    if condition.is_constant:
+        if domain.finite and not domain.contains(condition.value):
+            return []
+        return [condition.value]
+
+    if domain.finite:
+        matching = [v for v in sorted(domain.values, key=_sort_key)
+                    if condition.matches(v)]
+        in_active = [v for v in matching if v in active]
+        outside = [v for v in matching if v not in active]
+        # All non-active domain values are indistinguishable; keep one.
+        return in_active + outside[:1]
+
+    values = sorted((v for v in active if condition.matches(v)), key=_sort_key)
+    fresh = FreshValue(f"{attr}#0")
+    if not condition.matches(fresh):
+        # The negated constant is itself this fresh value (possible when a
+        # caller builds patterns over fresh witnesses); pick another.
+        fresh = FreshValue(f"{attr}#1")
+    values.append(fresh)
+    return values

@@ -1,0 +1,115 @@
+"""Exhaustive order-exploring chase.
+
+The batched checker of :func:`repro.core.fixes.chase` decides unique-fix
+existence in PTIME.  This module provides the ground truth it is validated
+against: explicitly enumerate *every* maximal fix sequence (every application
+order of every applicable rule/master pair) and collect the set of distinct
+fixpoints reached.  Exponential in the worst case — use on small instances
+only (the Hypothesis test-suite does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.fixes import applicable_pairs, _as_assignment
+from repro.engine.relation import Relation
+from repro.engine.values import UNKNOWN
+
+
+class ChaseExplosion(RuntimeError):
+    """Raised when the explored state space exceeds the caller's budget."""
+
+
+@dataclass
+class ExploreResult:
+    """All distinct fixpoints reachable from one start point.
+
+    ``fixpoints`` maps a canonical assignment signature (sorted
+    ``(attr, value)`` pairs over attributes with known values) to one
+    representative covered-attribute set.
+    """
+
+    fixpoints: dict
+    states_visited: int
+
+    @property
+    def unique(self) -> bool:
+        return len(self.fixpoints) == 1
+
+    @property
+    def final_assignments(self) -> list:
+        return [dict(signature) for signature in self.fixpoints]
+
+    def covered_sets(self) -> list:
+        return list(self.fixpoints.values())
+
+
+def _signature(assignment: Mapping) -> tuple:
+    return tuple(
+        sorted(
+            ((a, v) for a, v in assignment.items() if v is not UNKNOWN),
+            key=lambda item: item[0],
+        )
+    )
+
+
+def explore_fixes(
+    t,
+    z0: Iterable,
+    rules: Sequence,
+    master: Relation,
+    max_states: int = 50_000,
+) -> ExploreResult:
+    """Enumerate every maximal fix sequence from ``(t, Z0)``.
+
+    A state is ``(validated attrs, their values)``; each applicable
+    ``(φ, tm)`` pair is a transition (assign ``tm[Bm]`` to ``B`` and extend
+    the validated set — including same-value assignments, which still extend
+    coverage).  Fixpoints are states with no applicable pair at all
+    (maximality, Sect. 3 condition (2)).
+    """
+    rules = list(rules)
+    zb = frozenset(z0)
+    attrs = set(zb)
+    for rule in rules:
+        attrs.update(rule.premise_attrs)
+        attrs.add(rule.rhs)
+    start = _as_assignment(t, tuple(attrs))
+    for a in attrs:
+        start.setdefault(a, UNKNOWN)
+
+    fixpoints: dict = {}
+    seen: set = set()
+    visited = 0
+
+    stack = [(frozenset(zb), tuple(sorted(start.items(), key=lambda kv: kv[0])))]
+    while stack:
+        validated, frozen = stack.pop()
+        state_key = (validated, frozen)
+        if state_key in seen:
+            continue
+        seen.add(state_key)
+        visited += 1
+        if visited > max_states:
+            raise ChaseExplosion(
+                f"explored more than {max_states} chase states; "
+                f"use a smaller instance or raise max_states"
+            )
+        assignment = dict(frozen)
+        successors = 0
+        for rule, tm in applicable_pairs(assignment, validated, rules, master):
+            successors += 1
+            new_assignment = dict(assignment)
+            new_assignment[rule.rhs] = tm[rule.rhs_m]
+            stack.append(
+                (
+                    validated | {rule.rhs},
+                    tuple(sorted(new_assignment.items(), key=lambda kv: kv[0])),
+                )
+            )
+        if successors == 0:
+            fixpoints.setdefault(_signature(assignment), validated)
+
+    return ExploreResult(fixpoints=fixpoints, states_visited=visited)

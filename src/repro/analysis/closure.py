@@ -1,0 +1,51 @@
+"""Attribute-level closure reasoning (value-free necessary conditions).
+
+``attribute_closure(Z, Σ)`` is the set of attributes reachable from ``Z`` by
+repeatedly firing rules whose premise (``X ∪ Xp``) is already covered.  It
+over-approximates what any chase can validate: if the closure misses an
+attribute, no tableau can make ``(Z, Tc)`` a certain region, which gives the
+region-search algorithms a cheap pruning test.  ``one_hop_cover`` is the
+myopic single-step variant the GRegion baseline scores with (Sect. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def attribute_closure(attrs: Iterable, rules: Iterable) -> frozenset:
+    """Attributes validatable from *attrs* by chaining rules (value-free)."""
+    closure = set(attrs)
+    pending = list(rules)
+    changed = True
+    while changed and pending:
+        changed = False
+        remaining = []
+        for rule in pending:
+            if rule.rhs in closure:
+                continue
+            if rule.premise_attrs <= closure:
+                closure.add(rule.rhs)
+                changed = True
+            else:
+                remaining.append(rule)
+        pending = remaining
+    return frozenset(closure)
+
+
+def one_hop_cover(attr: str, rules: Iterable) -> frozenset:
+    """Attributes some rule *mentioning attr in its premise* can fix.
+
+    This is the paper's description of GRegion's score: the attributes an
+    attribute "may fix", with no chaining and no requirement that the rest
+    of the premise be covered.
+    """
+    return frozenset(
+        rule.rhs for rule in rules if attr in rule.premise_attrs
+    )
+
+
+def mandatory_attrs(schema, rules: Iterable) -> frozenset:
+    """Attributes no rule can fix: they must belong to every certain region's Z."""
+    fixable = {rule.rhs for rule in rules}
+    return frozenset(a for a in schema.attributes if a not in fixable)

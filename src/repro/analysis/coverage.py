@@ -1,0 +1,40 @@
+"""The coverage problem and certain regions (Sect. 4.1, Theorem 2).
+
+``(Z, Tc)`` is a *certain region* for ``(Σ, Dm)`` iff every marked tuple has
+a certain fix: a unique fix whose covered attributes reach all of ``R``.
+The machinery is shared with :mod:`repro.analysis.consistency`; coverage
+additionally demands full attribute coverage per chased instance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.consistency import RegionReport, check_region
+from repro.core.regions import Region
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+
+
+def coverage_report(
+    rules: Sequence,
+    master: Relation,
+    region: Region,
+    schema: RelationSchema,
+    max_instantiations: int = 200_000,
+) -> RegionReport:
+    """Full report: consistency and coverage for each pattern tuple."""
+    return check_region(rules, master, region, schema, max_instantiations)
+
+
+def is_certain_region(
+    rules: Sequence,
+    master: Relation,
+    region: Region,
+    schema: RelationSchema,
+    max_instantiations: int = 200_000,
+) -> bool:
+    """Decide the coverage problem: is ``(Z, Tc)`` a certain region?"""
+    return coverage_report(
+        rules, master, region, schema, max_instantiations
+    ).certain

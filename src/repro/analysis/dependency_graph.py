@@ -1,0 +1,88 @@
+"""The rule dependency graph (Sect. 5.1, Fig. 4).
+
+Nodes are editing rules; there is an edge ``u → v`` iff
+``rhs(u) ∈ lhs(v) ∪ lhsp(v)`` — applying ``u`` may enable ``v``, so ``u``
+should be considered first.  TransFix walks this graph to propagate
+"usable" marks; the graph is computed once per rule set and reused for every
+input tuple ("the dependency graph of Σ remains unchanged as long as Σ is
+not changed").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+
+class DependencyGraph:
+    """Directed dependency graph over a rule set."""
+
+    def __init__(self, rules: Sequence):
+        self.rules = list(rules)
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(range(len(self.rules)))
+        for u, rule_u in enumerate(self.rules):
+            for v, rule_v in enumerate(self.rules):
+                if u == v:
+                    continue
+                if rule_u.rhs in rule_v.premise_attrs:
+                    self._graph.add_edge(u, v)
+
+    # -- structure ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    @property
+    def edge_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    def edges(self) -> list:
+        """Edges as (rule, rule) pairs."""
+        return [(self.rules[u], self.rules[v]) for u, v in self._graph.edges]
+
+    def successors(self, index: int) -> list:
+        """Indices of rules possibly enabled by applying rule *index*."""
+        return list(self._graph.successors(index))
+
+    def predecessors(self, index: int) -> list:
+        return list(self._graph.predecessors(index))
+
+    def index_of(self, rule) -> int:
+        return self.rules.index(rule)
+
+    @property
+    def has_cycle(self) -> bool:
+        """Whether rules can enable each other cyclically (allowed; the fix
+        semantics still terminates because each attribute is set once)."""
+        return not nx.is_directed_acyclic_graph(self._graph)
+
+    def stratification(self) -> list:
+        """Rule indices grouped by SCC condensation, in topological order.
+
+        A convenient application order: every rule appears after all rules
+        that can enable it (up to cycles).
+        """
+        condensation = nx.condensation(self._graph)
+        order = nx.topological_sort(condensation)
+        return [sorted(condensation.nodes[c]["members"]) for c in order]
+
+    def roots(self) -> list:
+        """Indices of rules no other rule enables (chase entry points)."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying graph (node labels = rule names)."""
+        relabeled = nx.DiGraph()
+        for u in self._graph.nodes:
+            relabeled.add_node(self.rules[u].name)
+        for u, v in self._graph.edges:
+            relabeled.add_edge(self.rules[u].name, self.rules[v].name)
+        return relabeled
+
+    def __repr__(self) -> str:
+        return (
+            f"DependencyGraph({len(self.rules)} rules, "
+            f"{self.edge_count} edges)"
+        )

@@ -1,0 +1,237 @@
+"""PTIME analyses for direct fixes (Sect. 4.1, Theorem 5).
+
+Direct fixes restrict the semantics in two ways: every rule has ``Xp ⊆ X``
+(pattern attributes are part of the match key) and the region is *never
+extended* — only rules whose lhs is inside the original ``Z`` may fire.
+Under these restrictions consistency and coverage are decidable in
+``O(|Σ|² |Dm|²)`` by evaluating, for every pair of rules sharing a target,
+the join query ``Qφ1,φ2`` of the paper's proof.  The same plan is evaluated
+in-memory here and rendered as SQL by :mod:`repro.engine.sql`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.patterns import PatternTuple
+from repro.core.regions import Region
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+from repro.engine.sql import render_q_pair, render_q_phi
+
+
+class NotDirectError(ValueError):
+    """A rule violates the direct-fix form ``Xp ⊆ X``."""
+
+
+def _require_direct(rules: Sequence) -> list:
+    bad = [r.name for r in rules if not r.is_direct]
+    if bad:
+        raise NotDirectError(
+            f"rules {bad} have pattern attributes outside their lhs; "
+            f"the direct-fix analyses (Theorem 5) require Xp ⊆ X"
+        )
+    return list(rules)
+
+
+def sigma_z(rules: Sequence, z: frozenset) -> list:
+    """``ΣZ``: rules with ``lhs ⊆ Z`` and ``rhs ∉ Z`` (the only ones that
+    can ever fire without region extension)."""
+    return [
+        r for r in rules if set(r.lhs) <= z and r.rhs not in z
+    ]
+
+
+def eval_q_phi(rule, pattern: PatternTuple, master: Relation) -> list:
+    """Evaluate ``Qφ``: distinct ``(X-keyed values, B value)`` pairs.
+
+    Returns tuples ``(key_mapping, b_value)`` where ``key_mapping`` maps the
+    rule's R-side lhs attributes to the master tuple's values.
+    """
+    seen = set()
+    out = []
+    for tm in master:
+        if not rule.master_guard.matches(tm):
+            continue
+        ok = True
+        for attr in rule.pattern.attrs:
+            condition = rule.pattern[attr]
+            if not condition.matches(tm[rule.master_attr_of(attr)]):
+                ok = False
+                break
+        if not ok:
+            continue
+        for attr, master_attr in zip(rule.lhs, rule.lhs_m):
+            condition = pattern.get(attr)
+            if condition is not None and not condition.matches(tm[master_attr]):
+                ok = False
+                break
+        if not ok:
+            continue
+        key = tuple(tm[m] for m in rule.lhs_m)
+        b_value = tm[rule.rhs_m]
+        if (key, b_value) in seen:
+            continue
+        seen.add((key, b_value))
+        out.append((dict(zip(rule.lhs, key)), b_value))
+    return out
+
+
+@dataclass(frozen=True)
+class DirectConflict:
+    """A witness returned by a non-empty ``Qφ1,φ2``."""
+
+    rule1_name: str
+    rule2_name: str
+    attr: str
+    values: tuple
+    shared_key: tuple
+
+    def describe(self) -> str:
+        return (
+            f"rules {self.rule1_name} / {self.rule2_name} assign "
+            f"{list(self.values)} to {self.attr!r} for shared key "
+            f"{self.shared_key}"
+        )
+
+
+def _pattern_conflicts(rule1, rule2, pattern, master):
+    """Evaluate ``Qφ1,φ2`` in-memory for one region pattern."""
+    shared = tuple(a for a in rule1.lhs if a in rule2.lhs)
+    rows1 = eval_q_phi(rule1, pattern, master)
+    by_key: dict = {}
+    for key_mapping, b_value in rows1:
+        by_key.setdefault(
+            tuple(key_mapping[a] for a in shared), []
+        ).append(b_value)
+    conflicts = []
+    for key_mapping, b_value in eval_q_phi(rule2, pattern, master):
+        key = tuple(key_mapping[a] for a in shared)
+        for other in by_key.get(key, []):
+            if other != b_value:
+                conflicts.append(
+                    DirectConflict(
+                        rule1_name=rule1.name,
+                        rule2_name=rule2.name,
+                        attr=rule2.rhs,
+                        values=(other, b_value),
+                        shared_key=key,
+                    )
+                )
+    return conflicts
+
+
+def direct_conflicts(
+    rules: Sequence,
+    master: Relation,
+    region: Region,
+    schema: RelationSchema,
+) -> list:
+    """All direct-fix conflict witnesses for the region."""
+    rules = _require_direct(rules)
+    z = frozenset(region.attrs)
+    active = sigma_z(rules, z)
+    out = []
+    for pattern in region.tableau:
+        if not pattern.satisfiable(schema.project(region.attrs)):
+            continue
+        for i, rule1 in enumerate(active):
+            for rule2 in active[i:]:
+                if rule1.rhs != rule2.rhs:
+                    continue
+                out.extend(_pattern_conflicts(rule1, rule2, pattern, master))
+    return out
+
+
+def is_direct_consistent(
+    rules: Sequence,
+    master: Relation,
+    region: Region,
+    schema: RelationSchema,
+) -> bool:
+    """Theorem 5(I): consistency for direct fixes, in PTIME."""
+    return not direct_conflicts(rules, master, region, schema)
+
+
+def is_direct_certain_region(
+    rules: Sequence,
+    master: Relation,
+    region: Region,
+    schema: RelationSchema,
+) -> bool:
+    """Theorem 5(II): the coverage test for direct fixes.
+
+    ``(Z, Tc)`` is certain iff it is consistent and, for every ``B ∈ R\\Z``
+    and every pattern ``tc``, some rule targeting ``B`` has ``X ⊆ Z``,
+    all-constant ``tc[X]``, a pattern entailed by ``tc``, and a master match.
+    """
+    rules = _require_direct(rules)
+    if not is_direct_consistent(rules, master, region, schema):
+        return False
+    z = frozenset(region.attrs)
+    remaining = [a for a in schema.attributes if a not in z]
+    for pattern in region.tableau:
+        if not pattern.satisfiable(schema.project(region.attrs)):
+            continue
+        for b in remaining:
+            if not _direct_covers(rules, master, z, pattern, b):
+                return False
+    return True
+
+
+def _direct_covers(rules, master, z, pattern, b) -> bool:
+    for rule in rules:
+        if rule.rhs != b or not set(rule.lhs) <= z:
+            continue
+        conditions = [pattern[a] for a in rule.lhs]
+        if not all(c.is_constant for c in conditions):
+            continue
+        key = tuple(c.value for c in conditions)
+        values = dict(zip(rule.lhs, key))
+        if not all(
+            pattern_condition.matches(values[attr])
+            for attr, pattern_condition in (
+                (a, rule.pattern[a]) for a in rule.pattern.attrs
+            )
+        ):
+            continue
+        matches = master.lookup(rule.lhs_m, key)
+        if len(rule.master_guard):
+            matches = [tm for tm in matches
+                       if rule.master_guard.matches(tm)]
+        if matches:
+            return True
+    return False
+
+
+def direct_consistency_queries(
+    rules: Sequence,
+    master_name: str,
+    region: Region,
+) -> list:
+    """The rendered ``Qφ1,φ2`` SQL texts (one per rule pair and pattern)."""
+    rules = _require_direct(rules)
+    z = frozenset(region.attrs)
+    active = sigma_z(rules, z)
+    queries = []
+    for pattern in region.tableau:
+        for i, rule1 in enumerate(active):
+            for rule2 in active[i:]:
+                if rule1.rhs != rule2.rhs:
+                    continue
+                queries.append(render_q_pair(rule1, rule2, pattern, master_name))
+    return queries
+
+
+__all__ = [
+    "DirectConflict",
+    "NotDirectError",
+    "direct_conflicts",
+    "direct_consistency_queries",
+    "eval_q_phi",
+    "is_direct_certain_region",
+    "is_direct_consistent",
+    "render_q_phi",
+    "sigma_z",
+]

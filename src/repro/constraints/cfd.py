@@ -1,0 +1,139 @@
+"""Conditional functional dependencies (CFDs, [19]) and violation detection.
+
+A CFD ``ψ = (X → B, tp)`` pairs an FD with a pattern tuple over ``X ∪ {B}``
+of constants and wildcards.  When ``tp[B]`` is a constant the CFD is
+*constant* and a single tuple can violate it (``t`` matches ``tp[X]`` but
+``t[B] ≠ tp[B]``); otherwise it is *variable* and violations are tuple pairs.
+
+Example 1 of the paper uses the constant CFDs "AC = 020 → city = Ldn" and
+"AC = 131 → city = Edi"; the IncRep baseline consumes CFDs compiled from the
+same editing rules and master data (:func:`cfds_from_rules`), so the two
+repair approaches see the same signal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.patterns import Const, PatternTuple
+from repro.engine.relation import Relation
+from repro.engine.tuples import Row
+
+
+class CFD:
+    """A conditional functional dependency ``(X → B, tp[X ∪ {B}])``."""
+
+    def __init__(self, lhs: Sequence, rhs: str, pattern: PatternTuple,
+                 name: str = None):
+        self.lhs = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+        self.rhs = rhs
+        if rhs in self.lhs:
+            raise ValueError(f"rhs {rhs!r} must not occur in lhs {self.lhs}")
+        for attr in self.lhs + (rhs,):
+            if attr not in pattern:
+                raise ValueError(
+                    f"pattern must cover X and B; missing {attr!r}"
+                )
+        self.pattern = pattern
+        self.name = name or f"cfd:{','.join(self.lhs)}->{rhs}"
+
+    @property
+    def is_constant(self) -> bool:
+        return self.pattern[self.rhs].is_constant
+
+    def lhs_matches(self, row: Row) -> bool:
+        return all(self.pattern[a].matches(row[a]) for a in self.lhs)
+
+    def single_tuple_violation(self, row: Row) -> bool:
+        """Constant-CFD check: pattern lhs matches but rhs constant differs."""
+        if not self.is_constant:
+            return False
+        return self.lhs_matches(row) and not self.pattern[self.rhs].matches(
+            row[self.rhs]
+        )
+
+    def pair_violation(self, row1: Row, row2: Row) -> bool:
+        """Variable-CFD check on a tuple pair."""
+        if self.is_constant:
+            return False
+        if not (self.lhs_matches(row1) and self.lhs_matches(row2)):
+            return False
+        return (
+            row1[self.lhs] == row2[self.lhs]
+            and row1[self.rhs] != row2[self.rhs]
+        )
+
+    def violations(self, relation: Relation) -> list:
+        """All violations in a relation (tuples or pairs)."""
+        out = []
+        if self.is_constant:
+            for row in relation:
+                if self.single_tuple_violation(row):
+                    out.append((row,))
+            return out
+        seen: dict = {}
+        for row in relation:
+            if not self.lhs_matches(row):
+                continue
+            key = row[self.lhs]
+            if key in seen:
+                if seen[key][self.rhs] != row[self.rhs]:
+                    out.append((seen[key], row))
+            else:
+                seen[key] = row
+        return out
+
+    def __repr__(self) -> str:
+        return f"CFD({self.name}, {self.pattern!r})"
+
+
+def tuple_violations(row: Row, cfds: Iterable) -> list:
+    """Constant CFDs violated by a single tuple."""
+    return [c for c in cfds if c.single_tuple_violation(row)]
+
+
+def cfds_from_rules(rules: Iterable, master: Relation,
+                    max_per_rule: int = None) -> list:
+    """Compile editing rules + master data into constant CFDs.
+
+    Each ``(rule, master tuple)`` pair yields the constant CFD
+    ``(X ∪ Xp → B, (tm[Xm] .. pattern constants .. tm[Bm]))``: exactly the
+    condition a clean tuple agreeing with that master tuple must satisfy.
+    Used to feed the IncRep baseline the same signal the editing rules see.
+    """
+    out = []
+    for rule in rules:
+        count = 0
+        seen = set()
+        for tm in master:
+            if not all(
+                rule.pattern[a].matches(tm[rule.master_attr_of(a)])
+                for a in rule.pattern.attrs
+                if a in rule.lhs and not rule.pattern[a].is_wildcard
+            ):
+                continue
+            key = tm[rule.lhs_m] + (tm[rule.rhs_m],)
+            if key in seen:
+                continue
+            seen.add(key)
+            conditions = {
+                a: Const(v) for a, v in zip(rule.lhs, tm[rule.lhs_m])
+            }
+            for a in rule.pattern.attrs:
+                if a not in conditions:
+                    conditions[a] = rule.pattern[a]
+            conditions[rule.rhs] = Const(tm[rule.rhs_m])
+            lhs = tuple(conditions)
+            lhs = tuple(a for a in lhs if a != rule.rhs)
+            out.append(
+                CFD(
+                    lhs,
+                    rule.rhs,
+                    PatternTuple(conditions),
+                    name=f"{rule.name}@{count}",
+                )
+            )
+            count += 1
+            if max_per_rule is not None and count >= max_per_rule:
+                break
+    return out

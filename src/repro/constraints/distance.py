@@ -1,0 +1,51 @@
+"""Edit distance and the repair cost model of [14].
+
+IncRep picks, among the candidate value modifications resolving a violation,
+the one minimizing ``weight(attribute) × dist(old, new)`` where ``dist`` is
+the normalized Levenshtein distance ("a metric to minimize the distance
+between the original values and the new values of changed attributes and the
+weights of the attributes modified").
+"""
+
+from __future__ import annotations
+
+from repro.engine.values import NULL, UNKNOWN
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classical Levenshtein edit distance (iterative, two rows)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            insert = current[j - 1] + 1
+            delete = previous[j] + 1
+            substitute = previous[j - 1] + (ca != cb)
+            current.append(min(insert, delete, substitute))
+        previous = current
+    return previous[-1]
+
+
+def normalized_distance(old, new) -> float:
+    """Distance in ``[0, 1]``: 0 for equal values, 1 for a full rewrite.
+
+    NULL / UNKNOWN old values cost nothing to overwrite (filling a missing
+    value is free in [14]'s model).
+    """
+    if old == new:
+        return 0.0
+    if old is NULL or old is UNKNOWN:
+        return 0.0
+    a, b = str(old), str(new)
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return levenshtein(a, b) / longest

@@ -1,0 +1,48 @@
+"""Classical functional dependencies ``X → Y``.
+
+Used to verify that the synthetic master data satisfies the key structure
+the editing rules assume (master data "can be assumed consistent and
+complete", Sect. 2), and as the degenerate case of CFDs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.engine.relation import Relation
+
+
+class FD:
+    """A functional dependency ``X → Y`` over one relation schema."""
+
+    def __init__(self, lhs: Sequence, rhs: Sequence, name: str = None):
+        self.lhs = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+        self.rhs = (rhs,) if isinstance(rhs, str) else tuple(rhs)
+        if not self.lhs or not self.rhs:
+            raise ValueError("an FD needs non-empty attribute lists")
+        self.name = name or f"{','.join(self.lhs)}->{','.join(self.rhs)}"
+
+    def holds(self, relation: Relation) -> bool:
+        return not self.violations(relation)
+
+    def violations(self, relation: Relation) -> list:
+        """Pairs of rows agreeing on X but not on Y (first witness per key)."""
+        seen: dict = {}
+        out = []
+        for row in relation:
+            key = row[self.lhs]
+            value = row[self.rhs]
+            if key in seen:
+                if seen[key][0] != value:
+                    out.append((seen[key][1], row))
+            else:
+                seen[key] = (value, row)
+        return out
+
+    def __repr__(self) -> str:
+        return f"FD({self.name})"
+
+
+def all_hold(fds: Iterable, relation: Relation) -> bool:
+    """Whether every FD in *fds* holds on *relation*."""
+    return all(fd.holds(relation) for fd in fds)

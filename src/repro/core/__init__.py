@@ -1,0 +1,55 @@
+"""Core concepts of the paper: patterns, editing rules, regions, fixes.
+
+* :mod:`repro.core.patterns` — pattern values (constant ``a``, negated
+  constant ``ā``, wildcard ``_``), pattern tuples and tableaux (Sect. 2).
+* :mod:`repro.core.rules` — editing rules and their application semantics
+  ``t →(φ,tm) t'`` (Sect. 2).
+* :mod:`repro.core.regions` — regions ``(Z, Tc)``, marking, and the region
+  extension ``ext(Z, Tc, φ)`` (Sect. 3).
+* :mod:`repro.core.fixes` — the fix chase: region-constrained application,
+  fix sequences, the batched confluence checker deciding unique/certain
+  fixes (Sect. 3 and the algorithm inside the proof of Theorem 4).
+"""
+
+from repro.core.patterns import (
+    ANY,
+    Const,
+    NotConst,
+    PatternTableau,
+    PatternTuple,
+    PatternValue,
+    Wildcard,
+    const,
+    neq,
+    wildcard,
+)
+from repro.core.rules import EditingRule, expand_rule_family
+from repro.core.regions import Region
+from repro.core.fixes import (
+    ChaseOutcome,
+    Conflict,
+    chase,
+    region_apply,
+    applicable_pairs,
+)
+
+__all__ = [
+    "ANY",
+    "ChaseOutcome",
+    "Conflict",
+    "Const",
+    "EditingRule",
+    "NotConst",
+    "PatternTableau",
+    "PatternTuple",
+    "PatternValue",
+    "Region",
+    "Wildcard",
+    "applicable_pairs",
+    "chase",
+    "const",
+    "expand_rule_family",
+    "neq",
+    "region_apply",
+    "wildcard",
+]

@@ -1,0 +1,134 @@
+"""Regions ``(Z, Tc)`` and the region extension (Sect. 3 of the paper).
+
+A region is a pair of a list ``Z`` of distinct R attributes and a pattern
+tableau ``Tc`` over ``Z``.  A tuple ``t`` is *marked* by ``(Z, Tc)`` iff it
+matches some pattern tuple of ``Tc``.  Regions drive the fix semantics:
+
+* applying ``(φ, tm)`` to a marked ``t`` w.r.t. ``(Z, Tc)`` requires
+  ``X ⊆ Z``, ``Xp ⊆ Z`` and ``B ∉ Z`` (validated premises, protected
+  targets);
+* a successful application *extends* the region: ``ext(Z, Tc, φ)`` adds
+  ``B`` to ``Z`` and pads every pattern tuple with ``tc[B] = _``
+  (Example 7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.patterns import ANY, PatternTableau, PatternTuple
+from repro.core.rules import EditingRule
+
+
+class Region:
+    """A region ``(Z, Tc)``.
+
+    ``Z`` is kept as an ordered tuple of distinct attributes;
+    ``Tc`` is a :class:`PatternTableau` over exactly those attributes.
+    """
+
+    __slots__ = ("attrs", "tableau")
+
+    def __init__(self, attrs: Sequence, tableau: PatternTableau = None):
+        attrs = (attrs,) if isinstance(attrs, str) else tuple(attrs)
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(f"Z has duplicate attributes: {attrs}")
+        if tableau is None:
+            tableau = PatternTableau(attrs)
+        if tuple(tableau.attrs) != attrs:
+            raise ValueError(
+                f"tableau attributes {tableau.attrs} differ from Z {attrs}"
+            )
+        self.attrs = attrs
+        self.tableau = tableau
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_patterns(cls, attrs: Sequence, patterns: Iterable) -> "Region":
+        """Build a region from ``{attr: pattern_value}`` mappings or tuples."""
+        attrs = tuple(attrs)
+        tableau = PatternTableau(attrs)
+        for p in patterns:
+            if isinstance(p, PatternTuple):
+                tableau.add(p)
+            elif isinstance(p, Mapping):
+                tableau.add(PatternTuple({a: p[a] for a in attrs}))
+            else:
+                tableau.add(PatternTuple(attrs=attrs, values=p))
+        return cls(attrs, tableau)
+
+    @classmethod
+    def single(cls, attrs: Sequence, pattern) -> "Region":
+        """A region whose tableau has exactly one pattern tuple."""
+        return cls.from_patterns(attrs, [pattern])
+
+    # -- basics -------------------------------------------------------------------
+
+    @property
+    def attr_set(self) -> frozenset:
+        return frozenset(self.attrs)
+
+    def marks(self, row) -> bool:
+        """Whether *row* is marked by this region."""
+        return self.tableau.marks(row)
+
+    def marking_patterns(self, row) -> list:
+        return self.tableau.marking_patterns(row)
+
+    @property
+    def is_concrete(self) -> bool:
+        return self.tableau.is_concrete
+
+    @property
+    def is_positive(self) -> bool:
+        return self.tableau.is_positive
+
+    def __len__(self) -> int:
+        return len(self.attrs)
+
+    # -- extension (Sect. 3) -----------------------------------------------------
+
+    def extend(self, rule: EditingRule) -> "Region":
+        """``ext(Z, Tc, φ)``: include ``B = rhs(φ)`` with wildcard patterns.
+
+        Raises if ``B`` is already in ``Z`` — by the region semantics a rule
+        whose target is validated must not be applied.
+        """
+        b = rule.rhs
+        if b in self.attr_set:
+            raise ValueError(
+                f"cannot extend region by {b!r}: already in Z = {self.attrs}"
+            )
+        return Region(
+            self.attrs + (b,),
+            self.tableau.extend_all({b: ANY}),
+        )
+
+    def extend_attrs(self, attrs: Iterable) -> "Region":
+        """Extend by several attributes at once (wildcard patterns)."""
+        new = [a for a in attrs if a not in self.attr_set]
+        if not new:
+            return self
+        updates = {a: ANY for a in new}
+        return Region(self.attrs + tuple(new), self.tableau.extend_all(updates))
+
+    def restrict_tableau(self, patterns: Iterable) -> "Region":
+        """The same Z with a different set of pattern tuples."""
+        return Region(self.attrs, PatternTableau(self.attrs, patterns))
+
+    def single_pattern_regions(self):
+        """One single-pattern region per tableau row (Theorem 4's reduction
+        of multi-pattern checks to one-by-one pattern checks)."""
+        return [
+            Region(self.attrs, PatternTableau(self.attrs, [p]))
+            for p in self.tableau
+        ]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.attrs == other.attrs and self.tableau == other.tableau
+
+    def __repr__(self) -> str:
+        return f"Region(Z={list(self.attrs)}, |Tc|={len(self.tableau)})"

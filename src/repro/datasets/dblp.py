@@ -1,0 +1,225 @@
+"""The DBLP dataset (Sect. 6): 12 attributes, 16 editing rules.
+
+The paper joins DBLP inproceedings with their proceedings (via the
+``crossref`` foreign key) and author homepages into one 12-attribute
+relation used for both ``R`` and ``Rm``.  :func:`make_dblp` generates the
+same structure: author entities with homepages, venue entities keyed by
+``(btitle, year)`` with a unique ``crossref``/``isbn``/``publisher``, and
+papers with two authors.
+
+The 16 rules follow the paper's φ1–φ7 exactly, including the cross-attribute
+homepage rules (φ2 matches the input's *second* author against the master's
+*first* author column — "even when the master relation Rm and the relation R
+share the same schema, some eRs still could not be syntactically expressed
+as CFDs"):
+
+* φ1–φ4: homepage rules over (a1, a2) × (hp1, hp2);
+* φ5 (3 rules): ``(type, btitle, year) → {isbn, publisher, crossref}``;
+* φ6 (4 rules): ``(type, crossref) → {btitle, year, isbn, publisher}``;
+* φ7 (5 rules): ``(type, a1, a2, ptitle, pages) → {isbn, publisher, year,
+  btitle, crossref}``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.patterns import PatternTuple, neq
+from repro.core.rules import EditingRule
+from repro.constraints.fd import FD
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema, STRING
+from repro.engine.tuples import Row
+from repro.engine.values import NULL
+from repro.datasets import vocab
+
+DBLP_ATTRS = (
+    "ptitle", "a1", "a2", "hp1", "hp2", "btitle",
+    "publisher", "isbn", "crossref", "year", "type", "pages",
+)
+
+INPROCEEDINGS = "inproceedings"
+
+
+def dblp_schema(name: str = "dblp") -> RelationSchema:
+    return RelationSchema(name, [(a, STRING) for a in DBLP_ATTRS])
+
+
+def dblp_rules() -> list:
+    """The 16 DBLP editing rules (φ1–φ7 of Sect. 6)."""
+    rules = [
+        EditingRule("a1", "a1", "hp1", "hp1",
+                    PatternTuple({"a1": neq(NULL)}), name="phi1"),
+        EditingRule("a2", "a1", "hp2", "hp1",
+                    PatternTuple({"a2": neq(NULL)}), name="phi2"),
+        EditingRule("a2", "a2", "hp2", "hp2",
+                    PatternTuple({"a2": neq(NULL)}), name="phi3"),
+        EditingRule("a1", "a2", "hp1", "hp2",
+                    PatternTuple({"a1": neq(NULL)}), name="phi4"),
+    ]
+    inproc = PatternTuple({"type": INPROCEEDINGS})
+    venue_key = ("type", "btitle", "year")
+    for attr in ("isbn", "publisher", "crossref"):
+        rules.append(
+            EditingRule(venue_key, venue_key, attr, attr, inproc,
+                        name=f"phi5[{attr}]")
+        )
+    crossref_key = ("type", "crossref")
+    for attr in ("btitle", "year", "isbn", "publisher"):
+        rules.append(
+            EditingRule(crossref_key, crossref_key, attr, attr, inproc,
+                        name=f"phi6[{attr}]")
+        )
+    paper_key = ("type", "a1", "a2", "ptitle", "pages")
+    for attr in ("isbn", "publisher", "year", "btitle", "crossref"):
+        rules.append(
+            EditingRule(paper_key, paper_key, attr, attr, inproc,
+                        name=f"phi7[{attr}]")
+        )
+    return rules
+
+
+def dblp_fds() -> list:
+    """Key structure the generated master data must satisfy."""
+    return [
+        FD("a1", ("hp1",)),
+        FD("a2", ("hp2",)),
+        FD(("btitle", "year"), ("isbn", "publisher", "crossref")),
+        FD("crossref", ("btitle", "year", "isbn", "publisher")),
+        FD(("a1", "a2", "ptitle", "pages"),
+           ("isbn", "publisher", "year", "btitle", "crossref")),
+    ]
+
+
+@dataclass
+class DblpDataset:
+    """Master data plus generator state for clean non-master tuples."""
+
+    schema: RelationSchema
+    master_schema: RelationSchema
+    master: Relation
+    rules: list
+    authors: dict          # name -> homepage
+    venues: dict           # crossref -> (btitle, year, publisher, isbn)
+    venue_by_key: dict     # (btitle, year) -> crossref
+    name: str = "dblp"
+
+    def entity_factory(self, rng: random.Random) -> Row:
+        """A clean paper *not* in the master data.
+
+        Authors and venues are drawn from the master pools most of the time
+        (a new paper by known authors at a known venue), keeping the clean
+        tuple consistent with every master-derivable value; occasionally
+        both are brand new, which costs an extra interaction round.
+        """
+        # Fresh entities are identified from the caller's RNG so workload
+        # generation is deterministic per seed and independent of how often
+        # this bundle was used before (48 bits: collisions negligible).
+        n = rng.getrandbits(48)
+        author_pool = sorted(self.authors)
+        if rng.random() < 0.7 and len(author_pool) >= 2:
+            a1, a2 = rng.sample(author_pool, 2)
+            hp1, hp2 = self.authors[a1], self.authors[a2]
+        else:
+            a1, a2 = f"New Author{2 * n}", f"New Author{2 * n + 1}"
+            hp1 = f"http://example.org/~new{2 * n}"
+            hp2 = f"http://example.org/~new{2 * n + 1}"
+        if rng.random() < 0.75 and self.venues:
+            crossref = rng.choice(sorted(self.venues))
+            btitle, year, publisher, isbn = self.venues[crossref]
+        else:
+            btitle = f"Workshop on Emerging Data {n}"
+            year = str(rng.randint(1995, 2010))
+            crossref = f"conf/new{n}/{year}"
+            publisher = rng.choice(vocab.PUBLISHERS)
+            isbn = f"978-1-9999-{n:04d}-0"
+        start = rng.randint(1, 400)
+        return Row(self.schema, {
+            "ptitle": f"A Fresh Look at Unseen Data Problems {n}",
+            "a1": a1,
+            "a2": a2,
+            "hp1": hp1,
+            "hp2": hp2,
+            "btitle": btitle,
+            "publisher": publisher,
+            "isbn": isbn,
+            "crossref": crossref,
+            "year": year,
+            "type": INPROCEEDINGS,
+            "pages": f"{start}-{start + rng.randint(8, 14)}",
+        })
+
+
+def _short(venue: str) -> str:
+    return "".join(ch for ch in venue.lower() if ch.isalnum())[:8]
+
+
+def make_dblp(
+    num_papers: int = 1200,
+    num_authors: int = 400,
+    num_venues: int = 60,
+    seed: int = 11,
+) -> DblpDataset:
+    """Generate the DBLP master data (``|Dm| = num_papers``)."""
+    rng = random.Random(seed)
+
+    authors = {}
+    for i in range(num_authors):
+        first = vocab.FIRST_NAMES[i % len(vocab.FIRST_NAMES)]
+        last = vocab.LAST_NAMES[(i // len(vocab.FIRST_NAMES) + i) % len(vocab.LAST_NAMES)]
+        name = f"{first} {last} {i:03d}"
+        authors[name] = f"http://example.org/~{first[0].lower()}{last.lower()}{i:03d}"
+
+    venues = {}
+    venue_by_key = {}
+    for v in range(num_venues):
+        base = vocab.VENUE_NAMES[v % len(vocab.VENUE_NAMES)]
+        year = str(1995 + (v * 3) % 16)
+        btitle = f"Proceedings of {base}"
+        key = (btitle, year)
+        if key in venue_by_key:
+            year = str(int(year) + 16)
+            key = (btitle, year)
+        crossref = f"conf/{_short(base)}/{year}"
+        publisher = vocab.PUBLISHERS[v % len(vocab.PUBLISHERS)]
+        isbn = f"978-3-5403-{v:04d}-{v % 10}"
+        venues[crossref] = (btitle, year, publisher, isbn)
+        venue_by_key[key] = crossref
+
+    schema = dblp_schema()
+    master = Relation(schema)
+    author_pool = sorted(authors)
+    venue_pool = sorted(venues)
+    for p in range(num_papers):
+        a1, a2 = rng.sample(author_pool, 2)
+        crossref = venue_pool[p % len(venue_pool)]
+        btitle, year, publisher, isbn = venues[crossref]
+        adjective = vocab.TITLE_ADJECTIVES[p % len(vocab.TITLE_ADJECTIVES)]
+        noun = vocab.TITLE_NOUNS[(p // 3) % len(vocab.TITLE_NOUNS)]
+        task = vocab.TITLE_TASKS[(p // 7) % len(vocab.TITLE_TASKS)]
+        start = rng.randint(1, 400)
+        master.insert({
+            "ptitle": f"{adjective} {noun} {task} {p:04d}",
+            "a1": a1,
+            "a2": a2,
+            "hp1": authors[a1],
+            "hp2": authors[a2],
+            "btitle": btitle,
+            "publisher": publisher,
+            "isbn": isbn,
+            "crossref": crossref,
+            "year": year,
+            "type": INPROCEEDINGS,
+            "pages": f"{start}-{start + rng.randint(8, 14)}",
+        })
+
+    return DblpDataset(
+        schema=schema,
+        master_schema=schema,
+        master=master,
+        rules=dblp_rules(),
+        authors=authors,
+        venues=venues,
+        venue_by_key=venue_by_key,
+    )

@@ -1,0 +1,190 @@
+"""The running example of the paper (Fig. 1, Examples 1-15).
+
+Schemas: input tuples describe UK suppliers
+``R(FN, LN, AC, phn, type, str, city, zip, item)`` (``type`` 1 = home phone,
+2 = mobile); the master relation is
+``Rm(FN, LN, AC, Hphn, Mphn, str, city, zip, DOB, gender)``.
+
+The concrete values of Fig. 1 are not present in the text-only source, so
+they are reconstructed from the prose of Examples 1-13 (every behaviour the
+examples state is asserted by the test-suite):
+
+* ``t1``: Bob Brady, AC 020 / city Edi inconsistency; eR1 (zip) corrects AC
+  and str from ``s1``; eR2 (mobile phone) standardizes Bob -> Robert.
+* ``t2``: home phone matching ``s1[AC, Hphn]``; ``str``/``zip`` missing and
+  ``city`` wrong; eR3 fixes city and enriches str/zip.
+* ``t3``: ``zip`` agreeing with ``s1`` but ``AC, phn`` agreeing with ``s2``
+  - applying φ1 and φ3 suggests distinct cities (Example 5's conflict).
+* ``t4``: matches no rule/master combination at all.
+
+One reconstruction note: the region ``(Z_AH, T_AH)`` is written
+``((AC, phn, type), {(0800, _, 1)})`` in the text, yet Example 6 applies
+``φ3`` (whose pattern requires ``AC ≠ 0800``) to the marked ``t3`` - the
+pattern constant must therefore be the *negation* ``0800̄``, which is what
+we use (otherwise no marked tuple could ever be fixed by φ3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.patterns import ANY, PatternTuple, neq
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema, STRING, finite_domain
+from repro.engine.tuples import Row
+from repro.engine.values import NULL
+
+PHONE_TYPE = finite_domain("phone_type", {1, 2})
+
+
+@dataclass
+class RunningExample:
+    """All artifacts of the paper's running example."""
+
+    schema: RelationSchema
+    master_schema: RelationSchema
+    master: Relation
+    rules: list
+    inputs: dict
+    masters: dict
+    regions: dict = field(default_factory=dict)
+
+    @property
+    def sigma0(self) -> list:
+        """The paper's Σ0 = {φ1..φ9} (Example 11's full expansion)."""
+        return self.rules
+
+
+def make_running_example() -> RunningExample:
+    """Build Fig. 1 with the nine rules of Example 11."""
+    schema = RelationSchema(
+        "R",
+        [
+            ("FN", STRING), ("LN", STRING), ("AC", STRING),
+            ("phn", STRING), ("type", PHONE_TYPE), ("str", STRING),
+            ("city", STRING), ("zip", STRING), ("item", STRING),
+        ],
+    )
+    master_schema = RelationSchema(
+        "Rm",
+        [
+            ("FN", STRING), ("LN", STRING), ("AC", STRING),
+            ("Hphn", STRING), ("Mphn", STRING), ("str", STRING),
+            ("city", STRING), ("zip", STRING), ("DOB", STRING),
+            ("gender", STRING),
+        ],
+    )
+
+    s1 = Row(master_schema, {
+        "FN": "Robert", "LN": "Brady", "AC": "131",
+        "Hphn": "6884563", "Mphn": "079172485",
+        "str": "51 Elm Row", "city": "Edi", "zip": "EH7 4AH",
+        "DOB": "11/11/55", "gender": "M",
+    })
+    s2 = Row(master_schema, {
+        "FN": "Mark", "LN": "Smith", "AC": "020",
+        "Hphn": "6884563", "Mphn": "075568485",
+        "str": "20 Baker St", "city": "Lnd", "zip": "NW1 6XE",
+        "DOB": "25/12/67", "gender": "M",
+    })
+    master = Relation(master_schema, [s1, s2])
+
+    # Example 11: Σ0 fully expanded.
+    rules = [
+        # eR1 (φ1-φ3): zip determines AC / str / city.
+        EditingRule("zip", "zip", "AC", "AC", PatternTuple({}), name="phi1"),
+        EditingRule("zip", "zip", "str", "str", PatternTuple({}), name="phi2"),
+        EditingRule("zip", "zip", "city", "city", PatternTuple({}), name="phi3"),
+        # eR2 (φ4-φ5): mobile phone standardizes the name.
+        EditingRule("phn", "Mphn", "FN", "FN",
+                    PatternTuple({"type": 2}), name="phi4"),
+        EditingRule("phn", "Mphn", "LN", "LN",
+                    PatternTuple({"type": 2}), name="phi5"),
+        # eR3 (φ6-φ8): home phone (type 1, geographic AC) fixes the address.
+        EditingRule(("AC", "phn"), ("AC", "Hphn"), "str", "str",
+                    PatternTuple({"type": 1, "AC": neq("0800")}), name="phi6"),
+        EditingRule(("AC", "phn"), ("AC", "Hphn"), "city", "city",
+                    PatternTuple({"type": 1, "AC": neq("0800")}), name="phi7"),
+        EditingRule(("AC", "phn"), ("AC", "Hphn"), "zip", "zip",
+                    PatternTuple({"type": 1, "AC": neq("0800")}), name="phi8"),
+        # φ9: toll-free AC determines city via master data.
+        EditingRule("AC", "AC", "city", "city",
+                    PatternTuple({"AC": "0800"}), name="phi9"),
+    ]
+
+    inputs = {
+        "t1": Row(schema, {
+            "FN": "Bob", "LN": "Brady", "AC": "020",
+            "phn": "079172485", "type": 2, "str": "501 Elm St",
+            "city": "Edi", "zip": "EH7 4AH", "item": "CD",
+        }),
+        "t2": Row(schema, {
+            "FN": "Robert", "LN": "Brady", "AC": "131",
+            "phn": "6884563", "type": 1, "str": NULL,
+            "city": "Lnd", "zip": NULL, "item": "CD",
+        }),
+        "t3": Row(schema, {
+            "FN": "Mark", "LN": "Smith", "AC": "020",
+            "phn": "6884563", "type": 1, "str": "20 Baker St",
+            "city": "Edi", "zip": "EH7 4AH", "item": "BOOK",
+        }),
+        "t4": Row(schema, {
+            "FN": "Jane", "LN": "Doe", "AC": "0131",
+            "phn": "5551234", "type": 2, "str": "1 High St",
+            "city": "Gla", "zip": "G1 1AA", "item": "DVD",
+        }),
+    }
+
+    regions = {
+        # (Z_AH, T_AH): Example 6 (see the module docstring on the negation).
+        "ZAH": Region.from_patterns(
+            ("AC", "phn", "type"),
+            [PatternTuple({"AC": neq("0800"), "phn": ANY, "type": 1})],
+        ),
+        # (Z_AHZ, T_AHZ): Example 8's extension by zip - loses uniqueness.
+        "ZAHZ": Region.from_patterns(
+            ("AC", "phn", "type", "zip"),
+            [PatternTuple(
+                {"AC": neq("0800"), "phn": ANY, "type": 1, "zip": ANY}
+            )],
+        ),
+        # (Z_zm, T_zm): Example 8 - unique fix for t1, but item uncovered.
+        "Zzm": Region.from_patterns(
+            ("zip", "phn", "type"),
+            [PatternTuple({"zip": ANY, "phn": ANY, "type": 2})],
+        ),
+        # (Z_zmi, T_zmi): Example 9's certain region - patterns (z, p, 2, _)
+        # over s[zip, Mphn] for every master tuple s.
+        "Zzmi": Region.from_patterns(
+            ("zip", "phn", "type", "item"),
+            [
+                PatternTuple({
+                    "zip": s["zip"], "phn": s["Mphn"], "type": 2, "item": ANY,
+                })
+                for s in master
+            ],
+        ),
+        # (Z_L, T_L): Example 9's second certain region - (f, l, a, h, 1, _).
+        "ZL": Region.from_patterns(
+            ("FN", "LN", "AC", "phn", "type", "item"),
+            [
+                PatternTuple({
+                    "FN": s["FN"], "LN": s["LN"], "AC": s["AC"],
+                    "phn": s["Hphn"], "type": 1, "item": ANY,
+                })
+                for s in master
+            ],
+        ),
+    }
+
+    return RunningExample(
+        schema=schema,
+        master_schema=master_schema,
+        master=master,
+        rules=rules,
+        inputs=inputs,
+        masters={"s1": s1, "s2": s2},
+        regions=regions,
+    )

@@ -1,0 +1,111 @@
+"""Deterministic value pools for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "Robert", "Mary", "James", "Linda", "Michael", "Patricia", "William",
+    "Barbara", "David", "Elizabeth", "Richard", "Jennifer", "Joseph",
+    "Maria", "Thomas", "Susan", "Charles", "Margaret", "Daniel", "Dorothy",
+    "Matthew", "Lisa", "Anthony", "Nancy", "Mark", "Karen", "Paul", "Betty",
+    "Steven", "Helen", "George", "Sandra", "Kenneth", "Donna", "Andrew",
+    "Carol", "Edward", "Ruth", "Joshua", "Sharon",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Miller", "Davis",
+    "Garcia", "Rodriguez", "Wilson", "Martinez", "Anderson", "Taylor",
+    "Thomas", "Hernandez", "Moore", "Martin", "Jackson", "Thompson",
+    "White", "Lopez", "Lee", "Gonzalez", "Harris", "Clark", "Lewis",
+    "Robinson", "Walker", "Perez", "Hall", "Young", "Allen", "Sanchez",
+    "Wright", "King", "Scott", "Green", "Baker", "Adams", "Nelson",
+]
+
+STREETS = [
+    "Elm St", "Oak Ave", "Maple Dr", "Pine Rd", "Cedar Ln", "Birch Way",
+    "Walnut Blvd", "Chestnut Ct", "Spruce Ter", "Willow Pl", "Ash Cir",
+    "Poplar Sq", "Hickory Row", "Magnolia Pkwy", "Sycamore Xing",
+    "Juniper Path", "Laurel Bnd", "Holly Gln", "Dogwood Trl", "Linden Walk",
+]
+
+STATES = [
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+    "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+    "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+]
+
+CITIES = [
+    "Springfield", "Riverton", "Fairview", "Georgetown", "Salem",
+    "Madison", "Clinton", "Arlington", "Ashland", "Dover", "Franklin",
+    "Greenville", "Bristol", "Oxford", "Milton", "Newport", "Auburn",
+    "Dayton", "Lexington", "Milford", "Winchester", "Clayton", "Hudson",
+    "Kingston", "Florence",
+]
+
+HOSPITAL_SUFFIXES = [
+    "General Hospital", "Medical Center", "Regional Medical Center",
+    "Community Hospital", "Memorial Hospital", "University Hospital",
+    "Health Center", "Mercy Hospital",
+]
+
+HOSPITAL_TYPES = [
+    "Acute Care Hospitals", "Critical Access Hospitals",
+    "Childrens Hospitals",
+]
+
+HOSPITAL_OWNERS = [
+    "Voluntary non-profit - Private", "Proprietary",
+    "Government - State", "Government - Local",
+    "Voluntary non-profit - Church",
+]
+
+MEASURE_FAMILIES = {
+    "AMI": ("Heart Attack", [
+        "Aspirin at arrival", "Aspirin at discharge",
+        "ACE inhibitor for LVSD", "Beta blocker at discharge",
+        "Fibrinolytic within 30 minutes", "PCI within 90 minutes",
+        "Smoking cessation advice",
+    ]),
+    "HF": ("Heart Failure", [
+        "Discharge instructions", "LVS assessment",
+        "ACE inhibitor for LVSD", "Smoking cessation advice",
+    ]),
+    "PN": ("Pneumonia", [
+        "Oxygenation assessment", "Pneumococcal vaccination",
+        "Blood culture before antibiotic", "Smoking cessation advice",
+        "Initial antibiotic within 6 hours", "Appropriate antibiotic",
+        "Influenza vaccination",
+    ]),
+    "SCIP": ("Surgical Care", [
+        "Antibiotic within 1 hour", "Antibiotic selection",
+        "Antibiotic stopped within 24 hours", "Glucose control",
+        "Appropriate hair removal", "Beta blocker continued",
+    ]),
+}
+
+PUBLISHERS = [
+    "Springer", "ACM", "IEEE Computer Society", "Morgan Kaufmann",
+    "VLDB Endowment", "Elsevier", "IOS Press", "CEUR-WS.org",
+]
+
+VENUE_NAMES = [
+    "SIGMOD Conference", "VLDB", "ICDE", "EDBT", "ICDT", "PODS",
+    "CIKM", "WWW", "KDD", "SIGIR", "WSDM", "DASFAA", "SSDBM",
+    "DEXA", "ADBIS", "BNCOD",
+]
+
+TITLE_NOUNS = [
+    "Queries", "Views", "Joins", "Indexes", "Streams", "Schemas",
+    "Dependencies", "Transactions", "Workloads", "Graphs", "Patterns",
+    "Constraints", "Repairs", "Provenance", "Sampling", "Sketches",
+]
+
+TITLE_ADJECTIVES = [
+    "Efficient", "Scalable", "Adaptive", "Incremental", "Distributed",
+    "Approximate", "Robust", "Certain", "Optimal", "Parallel",
+    "Declarative", "Interactive",
+]
+
+TITLE_TASKS = [
+    "Processing", "Evaluation", "Optimization", "Discovery", "Cleaning",
+    "Mining", "Integration", "Matching", "Maintenance", "Answering",
+]

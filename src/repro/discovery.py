@@ -1,0 +1,141 @@
+"""Editing-rule discovery from master data (the paper's third future-work
+item: "effective algorithms have to be in place for discovering editing
+rules from sample inputs and master data, along the same lines as
+discovering other data quality rules").
+
+Editing rules of the common same-schema form ``((X, X) → (B, B), nil
+guards)`` are sound precisely when the functional dependency ``X → B`` holds
+*exactly* on the master data (a near-FD would hand TransFix conflicting
+master matches).  Discovery therefore:
+
+1. enumerates candidate keys ``X`` up to ``max_lhs_size`` in apriori order,
+   pruning non-minimal ones (if ``X → B`` holds, no superset of ``X`` is
+   reported for ``B``);
+2. keeps exact FDs whose key is *selective enough* to be a plausible match
+   key (``min_key_ratio`` distinct keys per row — constant-ish columns make
+   useless and dangerous match keys);
+3. emits rules guarded by non-nil patterns on the key, mirroring the
+   published HOSP rules.
+
+The discovered set can be vetted exactly like hand-written rules
+(``comp_c_region``, ``is_certain_region``), which the tests do: on the
+synthetic HOSP master the discovery recovers the dependency structure of
+the paper's 21 hand-written rules and yields the same size-2 certain region.
+
+**Curation caveat** (measured by ablation A4): an FD that holds on the
+master data need not be a domain invariant — near-unique columns (street
+addresses, sample descriptions) form *pseudo-keys* whose mined rules can
+mis-fire on entities outside the master data, forfeiting the certainty
+guarantee.  Certainty is relative to the rules being *correct*, which
+mining alone cannot establish; review mined rules (or restrict ``attrs``
+to known identifiers) before deploying them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.core.patterns import PatternTuple, neq
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.values import NULL
+
+
+@dataclass(frozen=True)
+class DiscoveredRule:
+    """A discovered rule with its evidence."""
+
+    rule: EditingRule
+    support: int          # distinct key values in the master data
+    key_ratio: float      # distinct keys / master rows (selectivity)
+
+    def describe(self) -> str:
+        return (
+            f"{self.rule.name}: support={self.support}, "
+            f"selectivity={self.key_ratio:.2f}"
+        )
+
+
+def _holds_exactly(master: Relation, lhs: tuple, rhs: str):
+    """Whether ``lhs → rhs`` holds exactly; returns (holds, distinct_keys)."""
+    seen: dict = {}
+    for row in master:
+        key = row[lhs]
+        value = row[rhs]
+        previous = seen.get(key)
+        if previous is None:
+            seen[key] = value
+        elif previous != value:
+            return False, len(seen)
+    return True, len(seen)
+
+
+def discover_editing_rules(
+    master: Relation,
+    max_lhs_size: int = 2,
+    min_key_ratio: float = 0.01,
+    min_support: int = 2,
+    attrs: Sequence = None,
+) -> list:
+    """Mine same-schema editing rules from exact master FDs.
+
+    Parameters
+    ----------
+    master:
+        The master relation (assumed consistent and complete, Sect. 2).
+    max_lhs_size:
+        Largest candidate key size (apriori enumeration).
+    min_key_ratio:
+        Minimum distinct-keys/rows selectivity for a usable match key.
+    min_support:
+        Minimum number of distinct key values witnessing the FD.
+    attrs:
+        Restrict discovery to these attributes (default: all).
+    """
+    if len(master) == 0:
+        return []
+    attrs = tuple(attrs) if attrs is not None else master.schema.attributes
+    rows = len(master)
+
+    # Minimality bookkeeping: rhs -> list of minimal keys found so far.
+    minimal_keys: dict = {b: [] for b in attrs}
+    discovered = []
+
+    for size in range(1, max_lhs_size + 1):
+        for lhs in combinations(attrs, size):
+            lhs_set = set(lhs)
+            for rhs in attrs:
+                if rhs in lhs_set:
+                    continue
+                if any(set(k) <= lhs_set for k in minimal_keys[rhs]):
+                    continue  # a subset already determines rhs
+                holds, distinct = _holds_exactly(master, lhs, rhs)
+                if not holds:
+                    continue
+                ratio = distinct / rows
+                if distinct < min_support or ratio < min_key_ratio:
+                    continue
+                minimal_keys[rhs].append(lhs)
+                rule = EditingRule(
+                    lhs,
+                    lhs,
+                    rhs,
+                    rhs,
+                    PatternTuple({a: neq(NULL) for a in lhs}),
+                    name=f"mined:{','.join(lhs)}->{rhs}",
+                )
+                discovered.append(
+                    DiscoveredRule(rule=rule, support=distinct, key_ratio=ratio)
+                )
+
+    discovered.sort(
+        key=lambda d: (len(d.rule.lhs), -d.support, d.rule.name)
+    )
+    return discovered
+
+
+def rules_only(discovered: Sequence) -> list:
+    """Strip the evidence wrappers."""
+    return [d.rule for d in discovered]

@@ -1,0 +1,60 @@
+"""In-memory relational substrate.
+
+This subpackage provides the small database engine everything else is built
+on: typed attribute domains, relation schemas, immutable rows, relation
+instances with hash indexes, and the handful of relational-algebra operators
+(select / project / join) that the paper's data preparation and the
+direct-fix analysis (Theorem 5) need.
+
+The engine is deliberately minimal but real: the HOSP dataset of Sect. 6 is
+constructed by natural-joining three base tables exactly as the paper
+describes, and the direct-fix consistency checks are evaluated both
+in-memory and via rendered SQL (see :mod:`repro.engine.sql`).
+"""
+
+from repro.engine.index import HashIndex
+from repro.engine.multi import (
+    SOURCE_ID,
+    combine_masters,
+    guard_for,
+    select_source,
+    split_rules_by_source,
+)
+from repro.engine.query import equi_join, natural_join, project, rename, select
+from repro.engine.relation import Relation
+from repro.engine.schema import (
+    Attribute,
+    Domain,
+    RelationSchema,
+    finite_domain,
+    INT,
+    STRING,
+)
+from repro.engine.tuples import Row
+from repro.engine.values import NULL, UNKNOWN, is_null, is_unknown
+
+__all__ = [
+    "Attribute",
+    "Domain",
+    "HashIndex",
+    "INT",
+    "NULL",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "SOURCE_ID",
+    "STRING",
+    "UNKNOWN",
+    "combine_masters",
+    "equi_join",
+    "finite_domain",
+    "guard_for",
+    "is_null",
+    "is_unknown",
+    "natural_join",
+    "project",
+    "rename",
+    "select",
+    "select_source",
+    "split_rules_by_source",
+]

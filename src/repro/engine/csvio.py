@@ -1,0 +1,66 @@
+"""CSV loading/saving for relations.
+
+Master data usually arrives as files; these helpers move relations in and
+out of CSV with the library's NULL convention (empty cells are NULL).
+All values load as strings — matching keys across columns is string-based,
+which is what the paper's schemas use; callers needing typed columns can
+post-process.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema, STRING
+from repro.engine.values import NULL
+
+
+def relation_from_csv(path, name: str = None,
+                      schema: RelationSchema = None) -> Relation:
+    """Load a relation from a header-first CSV file.
+
+    Empty cells become ``NULL``.  When *schema* is given the header must
+    match its attributes exactly; otherwise a string schema is derived from
+    the header.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty (no header row)") from None
+        if schema is None:
+            schema = RelationSchema(
+                name or path.stem, [(h, STRING) for h in header]
+            )
+        elif tuple(header) != schema.attributes:
+            raise ValueError(
+                f"CSV header {header} does not match schema attributes "
+                f"{list(schema.attributes)}"
+            )
+        relation = Relation(schema)
+        for line_number, cells in enumerate(reader, start=2):
+            if len(cells) != len(schema):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(schema)} cells, "
+                    f"got {len(cells)}"
+                )
+            relation.insert(
+                [NULL if cell == "" else cell for cell in cells]
+            )
+    return relation
+
+
+def relation_to_csv(relation: Relation, path) -> None:
+    """Write a relation as CSV (NULL renders as an empty cell)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attributes)
+        for row in relation:
+            writer.writerow(
+                ["" if value is NULL else value for value in row]
+            )

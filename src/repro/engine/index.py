@@ -1,0 +1,45 @@
+"""Hash indexes over relations.
+
+Sect. 5.1 argues TransFix's complexity by noting "it takes constant time to
+check whether there exists a master tuple that is applicable to t with an eR,
+by using a hash table that stores tm[Xm] as a key".  :class:`HashIndex` is
+exactly that hash table; :class:`repro.engine.relation.Relation` caches one
+index per attribute list (ablation A2 measures what it buys).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class HashIndex:
+    """A multimap from key tuples ``row[attrs]`` to the rows carrying them."""
+
+    __slots__ = ("attrs", "_buckets")
+
+    def __init__(self, attrs: Iterable, rows: Iterable):
+        self.attrs = tuple(attrs)
+        buckets: dict = {}
+        for row in rows:
+            buckets.setdefault(row[self.attrs], []).append(row)
+        self._buckets = buckets
+
+    def get(self, key) -> list:
+        """Rows whose ``row[attrs]`` equals *key* (a tuple of values)."""
+        return self._buckets.get(tuple(key), [])
+
+    def contains(self, key) -> bool:
+        return tuple(key) in self._buckets
+
+    def keys(self) -> Iterator[tuple]:
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def add(self, row) -> None:
+        """Insert *row* into the index (used by incremental relation loads)."""
+        self._buckets.setdefault(row[self.attrs], []).append(row)
+
+    def __repr__(self) -> str:
+        return f"HashIndex(on={list(self.attrs)}, keys={len(self._buckets)})"

@@ -1,0 +1,86 @@
+"""Multiple master relations in a single tagged schema (Sect. 2, remark (3)).
+
+"Given master schemas Rm1, ..., Rmk, there exists a single master schema Rm
+such that each instance Dm of Rm characterizes an instance of
+(Dm1, ..., Dmk) of those schemas.  Here Rm has a special attribute id such
+that σ_id=i(Rm) yields Dmi."
+
+:func:`combine_masters` builds exactly that encoding: the combined schema is
+the union of all source attributes plus a source-id column; attributes a
+source lacks are NULL.  :func:`guard_for` produces the master-side guard
+(``id = i``) that pins an editing rule to one source —
+:class:`repro.core.rules.EditingRule` accepts it as ``master_guard``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.patterns import PatternTuple
+from repro.engine.relation import Relation
+from repro.engine.schema import Attribute, RelationSchema, STRING
+from repro.engine.values import NULL
+
+#: The paper's special attribute distinguishing the source relations.
+SOURCE_ID = "__source__"
+
+
+def combine_masters(
+    named_relations: Mapping,
+    name: str = "Rm_combined",
+    source_attr: str = SOURCE_ID,
+) -> Relation:
+    """Encode several master relations into one tagged relation.
+
+    *named_relations* maps a source id (any hashable, typically a string)
+    to a :class:`Relation`.  Shared attribute names must carry the same
+    domain across sources.
+    """
+    if not named_relations:
+        raise ValueError("need at least one master relation")
+    attributes = [Attribute(source_attr, STRING)]
+    seen: dict = {}
+    for source, relation in named_relations.items():
+        for attr in relation.schema.attribute_objects:
+            if attr.name == source_attr:
+                raise ValueError(
+                    f"source {source!r} already has a {source_attr!r} column"
+                )
+            previous = seen.get(attr.name)
+            if previous is None:
+                seen[attr.name] = attr.domain
+                attributes.append(attr)
+            elif previous != attr.domain:
+                raise ValueError(
+                    f"attribute {attr.name!r} has conflicting domains "
+                    f"across sources"
+                )
+    schema = RelationSchema(name, attributes)
+    combined = Relation(schema)
+    for source, relation in named_relations.items():
+        for row in relation:
+            values = {a: NULL for a in schema.attributes}
+            values[source_attr] = source
+            values.update(row.to_dict())
+            combined.insert(values)
+    return combined
+
+
+def select_source(combined: Relation, source, source_attr: str = SOURCE_ID):
+    """``σ_id=i(Rm)``: the rows contributed by one source."""
+    return combined.lookup((source_attr,), (source,))
+
+
+def guard_for(source, source_attr: str = SOURCE_ID) -> PatternTuple:
+    """The master-side guard pinning a rule to one source relation."""
+    return PatternTuple({source_attr: source})
+
+
+def split_rules_by_source(rules: Sequence, source_attr: str = SOURCE_ID) -> dict:
+    """Group rules by the source their guard pins them to (None = unguarded)."""
+    out: dict = {}
+    for rule in rules:
+        condition = rule.master_guard.get(source_attr)
+        key = condition.value if condition is not None and condition.is_constant else None
+        out.setdefault(key, []).append(rule)
+    return out

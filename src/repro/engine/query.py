@@ -1,0 +1,81 @@
+"""Relational-algebra operators.
+
+Only what the reproduction needs: selection, projection, rename, equi-join
+and natural join.  The HOSP dataset of Sect. 6 is produced by natural-joining
+HOSP, HOSP_MSR_XWLK and STATE_MSR_AVG ("we created a big table by joining the
+three tables with natural join"); :func:`natural_join` is that operator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+
+
+def select(relation: Relation, predicate: Callable) -> Relation:
+    """Rows of *relation* satisfying *predicate*."""
+    return relation.select(predicate)
+
+
+def project(relation: Relation, attrs: Iterable, distinct: bool = False) -> Relation:
+    """Projection onto *attrs*; optionally duplicate-eliminating."""
+    return relation.project(attrs, distinct=distinct)
+
+
+def rename(relation: Relation, mapping: dict, name: str = None) -> Relation:
+    """Rename attributes per *mapping* (old -> new)."""
+    new_schema = relation.schema.rename(mapping)
+    if name is not None:
+        new_schema = RelationSchema(name, new_schema.attribute_objects)
+    out = Relation(new_schema)
+    for row in relation:
+        out.insert(row.rebind(new_schema))
+    return out
+
+
+def equi_join(
+    left: Relation,
+    right: Relation,
+    pairs: Sequence,
+    name: str = None,
+) -> Relation:
+    """Join on ``left[a] == right[b]`` for each ``(a, b)`` in *pairs*.
+
+    The output schema is the left schema followed by the right attributes
+    that are not join targets.  Uses a hash join (index on the right side).
+    """
+    left_attrs = tuple(a for a, _ in pairs)
+    right_attrs = tuple(b for _, b in pairs)
+    right_keep = [
+        a for a in right.schema.attribute_objects if a.name not in right_attrs
+    ]
+    conflicts = set(a.name for a in right_keep) & set(left.schema.attributes)
+    if conflicts:
+        raise ValueError(
+            f"join would duplicate attributes {sorted(conflicts)}; rename first"
+        )
+    out_schema = RelationSchema(
+        name or f"{left.schema.name}_join_{right.schema.name}",
+        list(left.schema.attribute_objects) + right_keep,
+    )
+    right_keep_names = tuple(a.name for a in right_keep)
+    index = right.index_on(right_attrs)
+    out = Relation(out_schema)
+    for lrow in left:
+        for rrow in index.get(lrow[left_attrs]):
+            out.insert(Row(out_schema, lrow.values + rrow[right_keep_names]))
+    return out
+
+
+def natural_join(left: Relation, right: Relation, name: str = None) -> Relation:
+    """Join on all shared attribute names (the paper's HOSP construction)."""
+    shared = [a for a in left.schema.attributes if a in right.schema]
+    if not shared:
+        raise ValueError(
+            f"no shared attributes between {left.schema.name!r} and "
+            f"{right.schema.name!r}; natural join would be a cross product"
+        )
+    return equi_join(left, right, [(a, a) for a in shared], name=name)

@@ -1,0 +1,138 @@
+"""Relation instances: a schema plus a bag of rows, with cached hash indexes.
+
+The master relation ``Dm`` of the paper is a :class:`Relation`; so are the
+base tables the HOSP dataset is joined from.  Relations are append-only
+(``insert``); all algebraic operations return new relations, which keeps the
+semantics of the analyses (which treat ``Dm`` as fixed) honest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.engine.index import HashIndex
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+
+
+class Relation:
+    """A named instance of a :class:`RelationSchema`."""
+
+    def __init__(self, schema: RelationSchema, rows: Iterable = ()):
+        self.schema = schema
+        self._rows: list = []
+        self._indexes: dict = {}
+        for row in rows:
+            self.insert(row)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, schema: RelationSchema, dicts: Iterable) -> "Relation":
+        return cls(schema, (Row(schema, d) for d in dicts))
+
+    def insert(self, row) -> None:
+        """Append a row (a :class:`Row`, mapping, or value sequence)."""
+        if not isinstance(row, Row):
+            row = Row(self.schema, row)
+        elif row.schema.attributes != self.schema.attributes:
+            raise ValueError(
+                f"row schema {row.schema.name!r} does not match relation "
+                f"schema {self.schema.name!r}"
+            )
+        self._rows.append(row)
+        for index in self._indexes.values():
+            index.add(row)
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def rows(self) -> list:
+        return list(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self._rows
+
+    def first(self) -> Row:
+        if not self._rows:
+            raise LookupError(f"relation {self.schema.name!r} is empty")
+        return self._rows[0]
+
+    # -- indexing ----------------------------------------------------------------
+
+    def index_on(self, attrs: Iterable) -> HashIndex:
+        """The (cached) hash index over *attrs*.
+
+        The attribute list may repeat columns: keys are positional, and rule
+        match lists may reuse one master column (see Theorem 12's reduction).
+        """
+        key = tuple(attrs)
+        for a in key:
+            self.schema.index_of(a)
+        index = self._indexes.get(key)
+        if index is None:
+            index = HashIndex(key, self._rows)
+            self._indexes[key] = index
+        return index
+
+    def lookup(self, attrs: Iterable, key_values) -> list:
+        """Rows with ``row[attrs] == key_values`` via the hash index."""
+        return self.index_on(attrs).get(tuple(key_values))
+
+    def scan_lookup(self, attrs: Iterable, key_values) -> list:
+        """Index-free variant of :meth:`lookup` (the ablation A2 baseline)."""
+        attrs = tuple(attrs)
+        key = tuple(key_values)
+        return [row for row in self._rows if row[attrs] == key]
+
+    # -- algebra (thin wrappers; the operators live in engine.query) -----------
+
+    def select(self, predicate: Callable) -> "Relation":
+        out = Relation(self.schema)
+        for row in self._rows:
+            if predicate(row):
+                out.insert(row)
+        return out
+
+    def project(self, attrs: Iterable, distinct: bool = False) -> "Relation":
+        attrs = tuple(attrs)
+        sub = self.schema.project(attrs)
+        out = Relation(sub)
+        seen = set()
+        for row in self._rows:
+            values = row[attrs]
+            if distinct:
+                if values in seen:
+                    continue
+                seen.add(values)
+            out.insert(Row(sub, values))
+        return out
+
+    def distinct(self) -> "Relation":
+        out = Relation(self.schema)
+        seen = set()
+        for row in self._rows:
+            if row.values not in seen:
+                seen.add(row.values)
+                out.insert(row)
+        return out
+
+    def active_values(self, attr: str) -> set:
+        """The set of values appearing in column *attr*."""
+        position = self.schema.index_of(attr)
+        return {row.values[position] for row in self._rows}
+
+    def sample(self, count: int, rng) -> list:
+        """*count* rows drawn without replacement using the caller's RNG."""
+        if count >= len(self._rows):
+            return list(self._rows)
+        return rng.sample(self._rows, count)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name!r}, {len(self._rows)} rows)"

@@ -1,0 +1,110 @@
+"""SQL rendering for the direct-fix analyses.
+
+The proof of Theorem 5 phrases the direct-fix consistency check as SQL over
+the master relation: a query ``Qφ`` per rule (master tuples matching both the
+rule's pattern and the region's pattern) and a join query ``Qφ1,φ2`` per rule
+pair sharing a target ("(Σ, Dm) is consistent relative to (Z, Tc) iff all the
+queries return an empty set").  :mod:`repro.analysis.direct_fixes` evaluates
+the same plan in-memory; this module renders the equivalent SQL text so the
+two can be compared, logged and documented.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.patterns import PatternTuple, PatternValue
+
+
+def sql_literal(value) -> str:
+    """Render a Python value as a SQL literal."""
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return str(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def condition_sql(column: str, condition: PatternValue) -> str:
+    """One pattern condition as a SQL predicate (wildcards render as TRUE)."""
+    if condition.is_wildcard:
+        return "TRUE"
+    if condition.is_constant:
+        return f"{column} = {sql_literal(condition.value)}"
+    return f"{column} <> {sql_literal(condition.value)}"
+
+
+def pattern_where(
+    columns: Iterable,
+    pattern: PatternTuple,
+    attrs: Iterable,
+    table: str = "Rm",
+) -> list:
+    """Predicates for ``table.columns ≈ pattern[attrs]`` (skipping wildcards)."""
+    predicates = []
+    for column, attr in zip(columns, attrs):
+        condition = pattern.get(attr)
+        if condition is None or condition.is_wildcard:
+            continue
+        predicates.append(condition_sql(f"{table}.{column}", condition))
+    return predicates
+
+
+def render_q_phi(rule, region_pattern: PatternTuple, master_name: str = "Rm") -> str:
+    """The paper's ``Qφ``: master tuples matching ``tp[Xp]`` and ``tc[X]``.
+
+    Output columns are aliased to the *R*-side attribute names, as in the
+    paper's ``select distinct (Xm, Bm) as (X, B)``.
+    """
+    select_parts = [
+        f"{master_name}.{m} AS {a}" for a, m in zip(rule.lhs, rule.lhs_m)
+    ]
+    select_parts.append(f"{master_name}.{rule.rhs_m} AS {rule.rhs}")
+    where = []
+    # Rm.Xpm ≈ tp[Xp]  (direct fixes guarantee Xp ⊆ X).
+    pattern_columns = [rule.master_attr_of(a) for a in rule.pattern.attrs]
+    where.extend(
+        pattern_where(pattern_columns, rule.pattern, rule.pattern.attrs, master_name)
+    )
+    # Rm.Xm ≈ tc[X].
+    where.extend(
+        pattern_where(rule.lhs_m, region_pattern, rule.lhs, master_name)
+    )
+    # Master-side guard (multi-master encoding, Sect. 2 remark (3)).
+    for attr, condition in rule.master_guard.items():
+        if not condition.is_wildcard:
+            where.append(condition_sql(f"{master_name}.{attr}", condition))
+    where_sql = " AND ".join(where) if where else "TRUE"
+    return (
+        f"SELECT DISTINCT {', '.join(select_parts)}\n"
+        f"FROM {master_name}\n"
+        f"WHERE {where_sql}"
+    )
+
+
+def render_q_pair(rule1, rule2, region_pattern: PatternTuple,
+                  master_name: str = "Rm") -> str:
+    """The paper's ``Qφ1,φ2``: witnesses of a direct-fix conflict.
+
+    Joins ``Qφ1`` and ``Qφ2`` on the shared lhs attributes and keeps rows
+    whose target values *differ* (the conflict condition; the paper's
+    ``R1.B = R2.B`` is a typo for ``<>`` — equal values cannot conflict).
+    """
+    shared = [a for a in rule1.lhs if a in rule2.lhs]
+    q1 = render_q_phi(rule1, region_pattern, master_name).replace("\n", " ")
+    q2 = render_q_phi(rule2, region_pattern, master_name).replace("\n", " ")
+    join = [f"R1.{a} = R2.{a}" for a in shared]
+    join.append(f"R1.{rule1.rhs} <> R2.{rule2.rhs}")
+    only1 = [a for a in rule1.lhs if a not in shared]
+    only2 = [a for a in rule2.lhs if a not in shared]
+    select_parts = (
+        [f"R1.{a}" for a in only1]
+        + [f"R1.{a}" for a in shared]
+        + [f"R2.{a}" for a in only2]
+    )
+    return (
+        f"SELECT {', '.join(select_parts) if select_parts else '1'}\n"
+        f"FROM ({q1}) AS R1, ({q2}) AS R2\n"
+        f"WHERE {' AND '.join(join)}"
+    )

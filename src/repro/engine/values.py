@@ -1,0 +1,68 @@
+"""Special values used throughout the library.
+
+Two sentinels are distinguished, because the paper needs both:
+
+* ``NULL`` — a *stored* missing value.  Input tuples may arrive with missing
+  attributes (tuple ``t2`` of Fig. 1 has ``str`` and ``zip`` missing); the
+  editing rules of Sect. 6 guard against it with ``tp[zip] = (nil)``
+  patterns, which we model as "zip is not NULL".
+* ``UNKNOWN`` — an *analysis* placeholder meaning "any value".  The
+  consistency checker of Theorem 4 reasons about all input tuples marked by
+  a region; attributes outside the region are represented by ``UNKNOWN``
+  and, by the region semantics, are never read before being written.
+"""
+
+from __future__ import annotations
+
+
+class _Singleton:
+    """Base class for value sentinels: falsy, identity-compared, picklable."""
+
+    _instance = None
+    _repr = "?"
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return self._repr
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (self.__class__, ())
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+
+class NullType(_Singleton):
+    """The stored missing value (SQL NULL / the paper's ``nil``)."""
+
+    _repr = "NULL"
+
+
+class UnknownType(_Singleton):
+    """Placeholder for 'any value' during region-level static analysis."""
+
+    _repr = "UNKNOWN"
+
+
+NULL = NullType()
+UNKNOWN = UnknownType()
+
+
+def is_null(value) -> bool:
+    """Return True iff *value* is the stored missing value."""
+    return value is NULL
+
+
+def is_unknown(value) -> bool:
+    """Return True iff *value* is the analysis placeholder."""
+    return value is UNKNOWN

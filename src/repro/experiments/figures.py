@@ -1,0 +1,184 @@
+"""One driver per table/figure of the paper's evaluation.
+
+Each function returns ``(headers, rows)`` ready for
+:func:`repro.experiments.tables.format_table`; the benchmark modules wrap
+them with pytest-benchmark timers and shape assertions, and
+``benchmarks/run_all.py`` collects them into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.constraints.increp import IncRep
+from repro.experiments.config import ExperimentConfig, load_dataset, load_workload
+from repro.experiments.runner import run_stream
+from repro.metrics import aggregate, evaluate_repair
+from repro.repair.certainfix import CertainFix
+from repro.repair.region_search import comp_c_region, g_region
+
+
+def table1_region_sizes(configs) -> tuple:
+    """Exp-1(1): |Z| of the best CompCRegion region vs GRegion's.
+
+    Paper: HOSP 2 vs 4; DBLP 5 vs 9.
+    """
+    headers = ("dataset", "CompCRegion", "GRegion")
+    rows = []
+    for config in configs:
+        bundle = load_dataset(config)
+        comp = comp_c_region(bundle.rules, bundle.master, bundle.schema)
+        greedy = g_region(bundle.rules, bundle.master, bundle.schema)
+        rows.append(
+            (
+                config.dataset,
+                len(comp[0].region.attrs) if comp else None,
+                len(greedy.region.attrs) if greedy else None,
+            )
+        )
+    return headers, rows
+
+
+def table2_initial_suggestion(configs) -> tuple:
+    """Exp-1(2): F-measure with the highest-quality initial region (CRHQ)
+    vs a median-quality one (CRMQ).
+
+    Paper: HOSP 0.74 / 0.70; DBLP 0.79 / 0.69.
+    """
+    headers = ("dataset", "F(CRHQ)", "F(CRMQ)")
+    rows = []
+    for config in configs:
+        bundle, data = load_workload(config)
+        regions = comp_c_region(bundle.rules, bundle.master, bundle.schema)
+        median_rank = len(regions) // 2
+        f_values = []
+        for rank in (0, median_rank):
+            result = run_stream(bundle, data, initial_region_rank=rank)
+            f_values.append(result.final_metrics().f_measure)
+        rows.append((config.dataset, f_values[0], f_values[1]))
+    return headers, rows
+
+
+def fig9_interactions(config: ExperimentConfig, max_round: int = 6) -> tuple:
+    """Fig. 9: tuple-level and attribute-level recall per interaction round."""
+    bundle, data = load_workload(config)
+    result = run_stream(bundle, data)
+    headers = ("round", "recall_t", "recall_a", "tuples_done")
+    rows = []
+    done = 0
+    histogram = result.round_histogram()
+    for k in range(1, max(max_round, result.max_rounds) + 1):
+        metrics = result.metrics_after_round(k)
+        done += histogram.get(k, 0)
+        rows.append((k, metrics.recall_t, metrics.recall_a, done))
+    return headers, rows
+
+
+_SWEEPS = {
+    "d%": ("duplicate_rate", (0.1, 0.2, 0.3, 0.4, 0.5)),
+    "|Dm|": ("master_size", (500, 1000, 1500, 2000, 2500)),
+    "n%": ("noise_rate", (0.1, 0.2, 0.3, 0.4, 0.5)),
+}
+
+
+def fig10_tuple_recall(config: ExperimentConfig, vary: str, rounds=(1, 2, 3, 4)) -> tuple:
+    """Fig. 10: recall_t after k rounds while varying d% / |Dm| / n%."""
+    field, values = _SWEEPS[vary]
+    headers = (vary,) + tuple(f"recall_t@k={k}" for k in rounds)
+    rows = []
+    for value in values:
+        bundle, data = load_workload(config.with_(**{field: value}))
+        result = run_stream(bundle, data)
+        rows.append(
+            (value,)
+            + tuple(result.metrics_after_round(k).recall_t for k in rounds)
+        )
+    return headers, rows
+
+
+def fig11_f_measure(config: ExperimentConfig, vary: str, rounds=(1, 2, 4)) -> tuple:
+    """Fig. 11: F-measure after k rounds (and IncRep at k=1) under a sweep."""
+    field, values = _SWEEPS[vary]
+    headers = (vary,) + tuple(f"F@k={k}" for k in rounds) + ("F(IncRep)",)
+    rows = []
+    for value in values:
+        bundle, data = load_workload(config.with_(**{field: value}))
+        result = run_stream(bundle, data)
+        increp = IncRep(bundle.rules, bundle.master, bundle.schema)
+        evaluations = [
+            evaluate_repair(dt.dirty, dt.clean, increp.repair(dt.dirty).row, ())
+            for dt in data
+        ]
+        increp_f = aggregate(evaluations).f_measure
+        rows.append(
+            (value,)
+            + tuple(result.metrics_after_round(k).f_measure for k in rounds)
+            + (increp_f,)
+        )
+    return headers, rows
+
+
+def fig12_scalability(config: ExperimentConfig, vary: str) -> tuple:
+    """Fig. 12: mean per-round latency, CertainFix vs CertainFix⁺.
+
+    ``vary`` is ``"|Dm|"`` (a/b) or ``"|D|"`` (c/d).
+    """
+    if vary == "|Dm|":
+        values = (500, 1000, 1500, 2000, 2500)
+        configs = [config.with_(master_size=v) for v in values]
+    elif vary == "|D|":
+        values = (10, 50, 100, 250, 500)
+        configs = [config.with_(input_size=v) for v in values]
+    else:
+        raise ValueError(f"unknown sweep axis {vary!r}")
+    headers = (vary, "CertainFix (ms/round)", "CertainFix+ (ms/round)",
+               "cache hit rate")
+    rows = []
+    for value, sweep_config in zip(values, configs):
+        bundle, data = load_workload(sweep_config)
+        plain = run_stream(bundle, data, use_bdd=False)
+        cached = run_stream(bundle, data, use_bdd=True)
+        stats = cached.engine.cache_stats
+        rows.append(
+            (
+                value,
+                plain.mean_round_latency() * 1000,
+                cached.mean_round_latency() * 1000,
+                stats.hit_rate if stats else 0.0,
+            )
+        )
+    return headers, rows
+
+
+def ablation_transfix(config: ExperimentConfig) -> tuple:
+    """A1/A2: TransFix dependency-graph order and indexed lookups."""
+    from repro.analysis.dependency_graph import DependencyGraph
+    from repro.repair.transfix import transfix, transfix_naive
+
+    bundle, data = load_workload(config)
+    graph = DependencyGraph(bundle.rules)
+    regions = comp_c_region(bundle.rules, bundle.master, bundle.schema)
+    z0 = regions[0].region.attrs
+
+    variants = (
+        ("dep-graph + index", lambda row: transfix(
+            row, z0, bundle.rules, bundle.master, graph, use_index=True)),
+        ("naive + index", lambda row: transfix_naive(
+            row, z0, bundle.rules, bundle.master, use_index=True)),
+        ("dep-graph + scan", lambda row: transfix(
+            row, z0, bundle.rules, bundle.master, graph, use_index=False)),
+    )
+    clean_rows = [dt.clean for dt in data]
+    headers = ("variant", "ms/tuple", "fixed/tuple")
+    rows = []
+    for name, fn in variants:
+        started = time.perf_counter()
+        fixed_total = 0
+        for row in clean_rows:
+            fixed_total += len(fn(row).applied)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            (name, elapsed * 1000 / len(clean_rows),
+             fixed_total / len(clean_rows))
+        )
+    return headers, rows

@@ -1,0 +1,31 @@
+"""Plain-text table formatting for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence, rows: Iterable, title: str = None) -> str:
+    """Render rows as an aligned text table (numbers get 3 decimals)."""
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append([_cell(v) for v in row])
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,146 @@
+"""Serialization: rule sets and regions as plain JSON-able dictionaries.
+
+Editing rules are configuration, not code — deployments keep them in files,
+review them, and diff them ("editing rules can be extracted from business
+rules", Sect. 1).  This module round-trips every construct through plain
+dictionaries: pattern values (constants, negations, wildcards, NULL),
+pattern tuples, editing rules (including master-side guards), and regions.
+
+``dumps``/``loads`` wrap :mod:`json` for convenience; the dict forms work
+with any codec (YAML, TOML...).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from repro.core.patterns import (
+    ANY,
+    Const,
+    NotConst,
+    PatternTableau,
+    PatternTuple,
+    PatternValue,
+)
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.values import NULL
+
+
+def _value_to_obj(value):
+    if value is NULL:
+        return {"null": True}
+    return value
+
+
+def _value_from_obj(obj):
+    if isinstance(obj, Mapping) and obj.get("null") is True:
+        return NULL
+    return obj
+
+
+def pattern_value_to_dict(condition: PatternValue) -> dict:
+    """One pattern condition as a dict (kind + value)."""
+    if condition.is_wildcard:
+        return {"kind": "any"}
+    if condition.is_constant:
+        return {"kind": "const", "value": _value_to_obj(condition.value)}
+    return {"kind": "not", "value": _value_to_obj(condition.value)}
+
+
+def pattern_value_from_dict(obj: Mapping) -> PatternValue:
+    kind = obj.get("kind")
+    if kind == "any":
+        return ANY
+    if kind == "const":
+        return Const(_value_from_obj(obj["value"]))
+    if kind == "not":
+        return NotConst(_value_from_obj(obj["value"]))
+    raise ValueError(f"unknown pattern value kind {kind!r}")
+
+
+def pattern_tuple_to_dict(pattern: PatternTuple) -> dict:
+    return {
+        "attrs": list(pattern.attrs),
+        "conditions": {
+            attr: pattern_value_to_dict(condition)
+            for attr, condition in pattern.items()
+        },
+    }
+
+
+def pattern_tuple_from_dict(obj: Mapping) -> PatternTuple:
+    conditions = obj.get("conditions", {})
+    attrs = obj.get("attrs", list(conditions))
+    return PatternTuple(
+        {a: pattern_value_from_dict(conditions[a]) for a in attrs}
+    )
+
+
+def rule_to_dict(rule: EditingRule) -> dict:
+    """One editing rule as a plain dictionary."""
+    out = {
+        "name": rule.name,
+        "lhs": list(rule.lhs),
+        "lhs_m": list(rule.lhs_m),
+        "rhs": rule.rhs,
+        "rhs_m": rule.rhs_m,
+        "pattern": pattern_tuple_to_dict(rule.pattern),
+    }
+    if len(rule.master_guard):
+        out["master_guard"] = pattern_tuple_to_dict(rule.master_guard)
+    return out
+
+
+def rule_from_dict(obj: Mapping) -> EditingRule:
+    return EditingRule(
+        tuple(obj["lhs"]),
+        tuple(obj["lhs_m"]),
+        obj["rhs"],
+        obj["rhs_m"],
+        pattern_tuple_from_dict(obj.get("pattern", {})),
+        name=obj.get("name"),
+        master_guard=(
+            pattern_tuple_from_dict(obj["master_guard"])
+            if "master_guard" in obj
+            else None
+        ),
+    )
+
+
+def rules_to_dicts(rules: Iterable) -> list:
+    return [rule_to_dict(rule) for rule in rules]
+
+
+def rules_from_dicts(objs: Iterable) -> list:
+    return [rule_from_dict(obj) for obj in objs]
+
+
+def region_to_dict(region: Region) -> dict:
+    return {
+        "attrs": list(region.attrs),
+        "patterns": [
+            pattern_tuple_to_dict(pattern) for pattern in region.tableau
+        ],
+    }
+
+
+def region_from_dict(obj: Mapping) -> Region:
+    attrs = tuple(obj["attrs"])
+    tableau = PatternTableau(
+        attrs,
+        [pattern_tuple_from_dict(p) for p in obj.get("patterns", [])],
+    )
+    return Region(attrs, tableau)
+
+
+def dumps(rules: Iterable, indent: int = 2) -> str:
+    """A rule set as a JSON document."""
+    return json.dumps({"rules": rules_to_dicts(rules)}, indent=indent)
+
+
+def loads(text: str) -> list:
+    """Parse a rule set from a JSON document produced by :func:`dumps`."""
+    document = json.loads(text)
+    return rules_from_dicts(document["rules"])

@@ -1,0 +1,143 @@
+"""Evaluation metrics (Sect. 6).
+
+The paper quantifies quality at the tuple and attribute level:
+
+* ``recall_t``  = corrected tuples / erroneous tuples;
+* ``recall_a``  = corrected attributes / erroneous attributes, where
+  "corrected" counts only attributes fixed *by the algorithm* ("the number
+  of corrected attributes does not include those fixed by the users");
+* ``precision_a`` = corrected attributes / changed attributes;
+* ``F-measure`` = harmonic mean of attribute recall and precision.
+
+CertainFix's precision is 1.0 by construction ("since we assure that each
+fixed tuple is correct, we have a 100% precision"); IncRep's is not, which
+is exactly what Fig. 11 contrasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.engine.tuples import Row
+
+
+@dataclass
+class TupleEvaluation:
+    """Per-tuple accounting of one repair run."""
+
+    erroneous: frozenset
+    corrected_by_algorithm: frozenset
+    corrected_by_user: frozenset
+    changed_by_algorithm: frozenset
+    wrong_changes: frozenset
+    fully_corrected: bool
+
+    @property
+    def was_erroneous(self) -> bool:
+        return bool(self.erroneous)
+
+
+def evaluate_repair(
+    dirty: Row,
+    clean: Row,
+    final: Row,
+    user_asserted: Iterable = (),
+) -> TupleEvaluation:
+    """Score one repaired tuple against the ground truth.
+
+    ``user_asserted`` lists the attributes whose final values came from the
+    user; corrections there are *not* credited to the algorithm.
+    """
+    user_asserted = frozenset(user_asserted)
+    attrs = dirty.schema.attributes
+    erroneous = frozenset(a for a in attrs if dirty[a] != clean[a])
+    changed = frozenset(
+        a for a in attrs if final[a] != dirty[a] and a not in user_asserted
+    )
+    corrected_algo = frozenset(
+        a for a in erroneous
+        if a not in user_asserted and final[a] == clean[a]
+    )
+    corrected_user = frozenset(
+        a for a in erroneous if a in user_asserted and final[a] == clean[a]
+    )
+    wrong = frozenset(a for a in changed if final[a] != clean[a])
+    return TupleEvaluation(
+        erroneous=erroneous,
+        corrected_by_algorithm=corrected_algo,
+        corrected_by_user=corrected_user,
+        changed_by_algorithm=changed,
+        wrong_changes=wrong,
+        fully_corrected=all(final[a] == clean[a] for a in attrs),
+    )
+
+
+@dataclass
+class AggregateMetrics:
+    """Corpus-level metrics in the paper's terms."""
+
+    erroneous_tuples: int = 0
+    corrected_tuples: int = 0
+    erroneous_attrs: int = 0
+    corrected_attrs: int = 0
+    user_corrected_attrs: int = 0
+    changed_attrs: int = 0
+    wrong_attrs: int = 0
+    tuples: int = 0
+
+    @property
+    def recall_t(self) -> float:
+        if self.erroneous_tuples == 0:
+            return 1.0
+        return self.corrected_tuples / self.erroneous_tuples
+
+    @property
+    def recall_a(self) -> float:
+        if self.erroneous_attrs == 0:
+            return 1.0
+        return self.corrected_attrs / self.erroneous_attrs
+
+    @property
+    def precision_a(self) -> float:
+        if self.changed_attrs == 0:
+            return 1.0
+        return self.corrected_attrs / self.changed_attrs
+
+    @property
+    def f_measure(self) -> float:
+        r, p = self.recall_a, self.precision_a
+        if r + p == 0:
+            return 0.0
+        return 2 * r * p / (r + p)
+
+    def merge(self, other: "AggregateMetrics") -> "AggregateMetrics":
+        return AggregateMetrics(
+            erroneous_tuples=self.erroneous_tuples + other.erroneous_tuples,
+            corrected_tuples=self.corrected_tuples + other.corrected_tuples,
+            erroneous_attrs=self.erroneous_attrs + other.erroneous_attrs,
+            corrected_attrs=self.corrected_attrs + other.corrected_attrs,
+            user_corrected_attrs=(
+                self.user_corrected_attrs + other.user_corrected_attrs
+            ),
+            changed_attrs=self.changed_attrs + other.changed_attrs,
+            wrong_attrs=self.wrong_attrs + other.wrong_attrs,
+            tuples=self.tuples + other.tuples,
+        )
+
+
+def aggregate(evaluations: Iterable) -> AggregateMetrics:
+    """Roll per-tuple evaluations up into corpus metrics."""
+    out = AggregateMetrics()
+    for e in evaluations:
+        out.tuples += 1
+        if e.was_erroneous:
+            out.erroneous_tuples += 1
+            if e.fully_corrected:
+                out.corrected_tuples += 1
+        out.erroneous_attrs += len(e.erroneous)
+        out.corrected_attrs += len(e.corrected_by_algorithm)
+        out.user_corrected_attrs += len(e.corrected_by_user)
+        out.changed_attrs += len(e.changed_by_algorithm)
+        out.wrong_attrs += len(e.wrong_changes)
+    return out

@@ -1,0 +1,39 @@
+"""The paper's complexity reductions, as executable constructions.
+
+Section 4 proves its bounds by reductions from 3SAT, #3SAT and Set Cover.
+This package implements those constructions faithfully so they can serve as
+*test oracles*: a brute-force SAT/Set-Cover solver on the source instance
+must agree with the library's analyzers on the constructed instance.
+
+* :mod:`repro.reductions.sat` — 3SAT instances, brute-force satisfiability
+  and model counting.
+* :mod:`repro.reductions.setcover` — Set-Cover instances and brute-force
+  minimum covers.
+* :mod:`repro.reductions.constructions` — the Theorem 1 (consistency),
+  Theorem 6/9 (Z-validating / Z-counting) and Theorem 12 (Z-minimum)
+  constructions.
+"""
+
+from repro.reductions.sat import Clause, Literal, ThreeSAT
+from repro.reductions.setcover import SetCover
+from repro.reductions.constructions import (
+    ConsistencyInstance,
+    ZMinimumInstance,
+    ZValidatingInstance,
+    consistency_instance_from_3sat,
+    z_minimum_instance_from_set_cover,
+    z_validating_instance_from_3sat,
+)
+
+__all__ = [
+    "Clause",
+    "ConsistencyInstance",
+    "Literal",
+    "SetCover",
+    "ThreeSAT",
+    "ZMinimumInstance",
+    "ZValidatingInstance",
+    "consistency_instance_from_3sat",
+    "z_minimum_instance_from_set_cover",
+    "z_validating_instance_from_3sat",
+]

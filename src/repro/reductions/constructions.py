@@ -1,0 +1,262 @@
+"""The paper's hardness constructions, executable.
+
+Each function builds the editing-rule instance used in the corresponding
+proof, packaged with everything the analyzers need (schemas, master data,
+rules, region/Z).  Faithfulness notes:
+
+* **Theorem 1** (consistency ⇔ ¬SAT): schemas
+  ``R(A, X1..Xm, C1..Cn, V, B)`` / ``Rm(Y0, Y1, A, V, B)``, a fixed 3-tuple
+  master relation, ``Z = (A, X1..Xm)`` with ``tc = (1, _, .., _)``, and
+  ``9n + 2`` rules.
+* **Theorem 6 / 9** (Z-validating ⇔ SAT; Z-counting = #models): schemas
+  ``R(X1..Xm, C1..Cn, V)`` / ``Rm(B1, B2, B3, C, V1, V0)``, the 8-tuple
+  master relation enumerating three-variable assignments, ``3n`` rules,
+  ``Z = (X1..Xm)``.
+* **Theorem 12** (Z-minimum = minimum cover): schemas
+  ``R(C1..Ch, X_{1,1}..X_{n,h+1})`` / ``Rm(B1, B2)``, the single master
+  tuple ``(1, 1)``, and ``(h+1)·Σ|Cj| + h`` rules.  The element→subset rule
+  matches every X attribute against the same master column ``B1`` (the
+  paper's ``B1 .. B1`` list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.patterns import ANY, PatternTuple
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+from repro.reductions.sat import ThreeSAT
+from repro.reductions.setcover import SetCover
+
+
+@dataclass
+class ConsistencyInstance:
+    """Everything needed to run the Theorem 1 consistency check."""
+
+    schema: RelationSchema
+    master_schema: RelationSchema
+    master: Relation
+    rules: list
+    region: Region
+    formula: ThreeSAT
+
+
+@dataclass
+class ZValidatingInstance:
+    """The Theorem 6/9 instance (shared by Z-validating and Z-counting)."""
+
+    schema: RelationSchema
+    master_schema: RelationSchema
+    master: Relation
+    rules: list
+    z: tuple
+    formula: ThreeSAT
+
+
+@dataclass
+class ZMinimumInstance:
+    """The Theorem 12 instance."""
+
+    schema: RelationSchema
+    master_schema: RelationSchema
+    master: Relation
+    rules: list
+    cover: SetCover
+
+
+def _x(i: int) -> str:
+    return f"X{i + 1}"
+
+
+def _c(j: int) -> str:
+    return f"C{j + 1}"
+
+
+def consistency_instance_from_3sat(formula: ThreeSAT) -> ConsistencyInstance:
+    """The Theorem 1 reduction: consistent ⇔ the formula is unsatisfiable."""
+    m, n = formula.num_vars, len(formula.clauses)
+    x_attrs = [_x(i) for i in range(m)]
+    c_attrs = [_c(j) for j in range(n)]
+
+    schema = RelationSchema(
+        "R", [("A", INT)] + [(a, INT) for a in x_attrs + c_attrs]
+        + [("V", INT), ("B", INT)],
+    )
+    master_schema = RelationSchema(
+        "Rm", [("Y0", INT), ("Y1", INT), ("A", INT), ("V", INT), ("B", INT)]
+    )
+    master = Relation(master_schema)
+    master.insert((0, 1, 1, 1, 1))  # tm1
+    master.insert((0, 1, 1, 1, 0))  # tm2
+    master.insert((0, 1, 1, 0, 1))  # tm3
+
+    rules = []
+    # Σ1 .. Σn: eight rules per clause, one per truth assignment of its
+    # three variables; the target column is Y0 (false) or Y1 (true).
+    for j, clause in enumerate(formula.clauses):
+        for b1 in (0, 1):
+            for b2 in (0, 1):
+                for b3 in (0, 1):
+                    values = (b1, b2, b3)
+                    assignment = dict(zip(clause.vars, values))
+                    truthy = any(
+                        bool(assignment[lit.var]) == lit.positive
+                        for lit in clause.literals
+                    )
+                    target_col = "Y1" if truthy else "Y0"
+                    pattern = PatternTuple(
+                        {_x(v): val for v, val in zip(clause.vars, values)}
+                    )
+                    rules.append(
+                        EditingRule(
+                            ("A",), ("A",), _c(j), target_col, pattern,
+                            name=f"clause{j + 1}:{b1}{b2}{b3}",
+                        )
+                    )
+    # ΣC,V: V := 0 when some clause is false; V := 1 when all are true.
+    for j in range(n):
+        rules.append(
+            EditingRule(
+                ("A",), ("A",), "V", "Y0",
+                PatternTuple({_c(j): 0}),
+                name=f"false-clause{j + 1}",
+            )
+        )
+    rules.append(
+        EditingRule(
+            ("A",), ("A",), "V", "Y1",
+            PatternTuple({a: 1 for a in c_attrs}),
+            name="all-clauses-true",
+        )
+    )
+    # ΣV,B: the conflict generator (V = 1 matches two master B values).
+    rules.append(
+        EditingRule(("V",), ("V",), "B", "B", PatternTuple({}), name="v-to-b")
+    )
+
+    region = Region.from_patterns(
+        ("A",) + tuple(x_attrs),
+        [PatternTuple({"A": 1, **{a: ANY for a in x_attrs}})],
+    )
+    return ConsistencyInstance(
+        schema=schema,
+        master_schema=master_schema,
+        master=master,
+        rules=rules,
+        region=region,
+        formula=formula,
+    )
+
+
+def z_validating_instance_from_3sat(formula: ThreeSAT) -> ZValidatingInstance:
+    """The Theorem 6 reduction: a witness tableau exists ⇔ satisfiable.
+
+    The same instance is parsimonious for Z-counting (Theorem 9): the number
+    of witness patterns equals the number of satisfying assignments.
+    """
+    m, n = formula.num_vars, len(formula.clauses)
+    x_attrs = [_x(i) for i in range(m)]
+    c_attrs = [_c(j) for j in range(n)]
+
+    schema = RelationSchema(
+        "R", [(a, INT) for a in x_attrs + c_attrs] + [("V", INT)]
+    )
+    master_schema = RelationSchema(
+        "Rm",
+        [("B1", INT), ("B2", INT), ("B3", INT), ("C", INT), ("V1", INT),
+         ("V0", INT)],
+    )
+    master = Relation(master_schema)
+    for b1 in (0, 1):
+        for b2 in (0, 1):
+            for b3 in (0, 1):
+                master.insert((b1, b2, b3, 1, 1, 0))
+
+    rules = []
+    for j, clause in enumerate(formula.clauses):
+        lhs = tuple(_x(v) for v in clause.vars)
+        lhs_m = ("B1", "B2", "B3")
+        rules.append(
+            EditingRule(lhs, lhs_m, _c(j), "C", PatternTuple({}),
+                        name=f"phi{j + 1},1")
+        )
+        rules.append(
+            EditingRule(lhs, lhs_m, "V", "V1", PatternTuple({}),
+                        name=f"phi{j + 1},2")
+        )
+        falsifying = clause.falsifying_values()
+        pattern = PatternTuple(
+            {_x(v): val for v, val in zip(clause.vars, falsifying)}
+        )
+        rules.append(
+            EditingRule(lhs, lhs_m, "V", "V0", pattern, name=f"phi{j + 1},3")
+        )
+
+    return ZValidatingInstance(
+        schema=schema,
+        master_schema=master_schema,
+        master=master,
+        rules=rules,
+        z=tuple(x_attrs),
+        formula=formula,
+    )
+
+
+def z_minimum_instance_from_set_cover(cover: SetCover) -> ZMinimumInstance:
+    """The Theorem 12 reduction: minimum |Z| = minimum cover size.
+
+    Covering an element through its ``h + 1`` X attributes always costs more
+    than the at-most-``h`` subset attributes, so optimal Z's pick subsets.
+    """
+    n, h = cover.universe_size, len(cover.subsets)
+    c_attrs = [_c(j) for j in range(h)]
+    x_attrs = [
+        (i, l, f"X{i + 1},{l + 1}") for i in range(n) for l in range(h + 1)
+    ]
+
+    schema = RelationSchema(
+        "R", [(a, INT) for a in c_attrs] + [(name, INT) for _, _, name in x_attrs]
+    )
+    master_schema = RelationSchema("Rm", [("B1", INT), ("B2", INT)])
+    master = Relation(master_schema)
+    master.insert((1, 1))
+
+    def x_name(i: int, l: int) -> str:
+        return f"X{i + 1},{l + 1}"
+
+    rules = []
+    for j, subset in enumerate(cover.subsets):
+        for i in sorted(subset):
+            for l in range(h + 1):
+                rules.append(
+                    EditingRule(
+                        (_c(j),), ("B1",), x_name(i, l), "B2",
+                        PatternTuple({}),
+                        name=f"phi{j + 1},{i + 1},{l + 1}",
+                    )
+                )
+        element_attrs = tuple(
+            x_name(i, l) for i in sorted(subset) for l in range(h + 1)
+        )
+        if element_attrs:
+            rules.append(
+                EditingRule(
+                    element_attrs,
+                    ("B1",) * len(element_attrs),
+                    _c(j),
+                    "B2",
+                    PatternTuple({}),
+                    name=f"phi{j + 1},2",
+                )
+            )
+
+    return ZMinimumInstance(
+        schema=schema,
+        master_schema=master_schema,
+        master=master,
+        rules=rules,
+        cover=cover,
+    )

@@ -1,0 +1,105 @@
+"""3SAT instances with brute-force oracles.
+
+Small-instance satisfiability and model counting, used to validate the
+Theorem 1/6/9 constructions: the library's consistency / Z-validating /
+Z-counting answers on the constructed editing-rule instances must match the
+brute-force answers on the source formulas.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal: variable index (0-based) and polarity."""
+
+    var: int
+    positive: bool = True
+
+    def holds(self, assignment: Sequence) -> bool:
+        value = bool(assignment[self.var])
+        return value if self.positive else not value
+
+    def __repr__(self) -> str:
+        return f"x{self.var}" if self.positive else f"¬x{self.var}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of exactly three literals over distinct variables.
+
+    The paper's constructions place the three clause variables in distinct
+    rule attributes, so distinctness is required here (standard for 3SAT).
+    """
+
+    literals: tuple
+
+    def __post_init__(self):
+        if len(self.literals) != 3:
+            raise ValueError("a 3SAT clause has exactly three literals")
+        variables = [lit.var for lit in self.literals]
+        if len(set(variables)) != 3:
+            raise ValueError(
+                f"clause variables must be distinct, got {variables}"
+            )
+
+    @property
+    def vars(self) -> tuple:
+        return tuple(lit.var for lit in self.literals)
+
+    def holds(self, assignment: Sequence) -> bool:
+        return any(lit.holds(assignment) for lit in self.literals)
+
+    def falsifying_values(self) -> tuple:
+        """The unique per-literal-variable values making the clause false."""
+        return tuple(0 if lit.positive else 1 for lit in self.literals)
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(lit) for lit in self.literals) + ")"
+
+
+class ThreeSAT:
+    """A 3SAT formula: clauses over variables ``0..num_vars-1``."""
+
+    def __init__(self, num_vars: int, clauses: Iterable):
+        self.num_vars = num_vars
+        self.clauses = list(clauses)
+        for clause in self.clauses:
+            for lit in clause.literals:
+                if not 0 <= lit.var < num_vars:
+                    raise ValueError(
+                        f"literal {lit!r} out of range for {num_vars} variables"
+                    )
+
+    @classmethod
+    def from_tuples(cls, num_vars: int, clause_tuples: Iterable) -> "ThreeSAT":
+        """Build from e.g. ``[((0, True), (1, False), (2, True)), ...]``."""
+        clauses = [
+            Clause(tuple(Literal(v, p) for v, p in triple))
+            for triple in clause_tuples
+        ]
+        return cls(num_vars, clauses)
+
+    def holds(self, assignment: Sequence) -> bool:
+        return all(clause.holds(assignment) for clause in self.clauses)
+
+    def assignments(self):
+        return itertools.product((0, 1), repeat=self.num_vars)
+
+    # -- brute-force oracles ---------------------------------------------------
+
+    def satisfiable(self) -> bool:
+        return any(self.holds(a) for a in self.assignments())
+
+    def model_count(self) -> int:
+        return sum(1 for a in self.assignments() if self.holds(a))
+
+    def models(self) -> list:
+        return [a for a in self.assignments() if self.holds(a)]
+
+    def __repr__(self) -> str:
+        return " ∧ ".join(repr(c) for c in self.clauses) or "⊤"

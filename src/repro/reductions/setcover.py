@@ -1,0 +1,73 @@
+"""Set-Cover instances with a brute-force minimum-cover oracle.
+
+Used to validate the Theorem 12 construction: the Z-minimum of the
+constructed editing-rule instance must equal the brute-force minimum cover
+size, and the greedy Z-minimum must mirror greedy set cover (Theorem 17's
+L-reduction preserves approximation behaviour).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+
+class SetCover:
+    """Universe ``0..n-1`` and a list of subsets."""
+
+    def __init__(self, universe_size: int, subsets: Iterable):
+        self.universe_size = universe_size
+        self.subsets = [frozenset(s) for s in subsets]
+        for s in self.subsets:
+            if not s <= set(range(universe_size)):
+                raise ValueError(f"subset {sorted(s)} leaves the universe")
+
+    @property
+    def universe(self) -> frozenset:
+        return frozenset(range(self.universe_size))
+
+    def is_cover(self, chosen: Sequence) -> bool:
+        covered = set()
+        for index in chosen:
+            covered |= self.subsets[index]
+        return covered >= self.universe
+
+    def has_cover(self) -> bool:
+        return self.is_cover(range(len(self.subsets)))
+
+    # -- brute-force oracle ------------------------------------------------------
+
+    def minimum_cover(self):
+        """The smallest cover (as a tuple of subset indices), or ``None``."""
+        indices = range(len(self.subsets))
+        for k in range(0, len(self.subsets) + 1):
+            for combo in itertools.combinations(indices, k):
+                if self.is_cover(combo):
+                    return combo
+        return None
+
+    def minimum_cover_size(self):
+        cover = self.minimum_cover()
+        return None if cover is None else len(cover)
+
+    def greedy_cover(self):
+        """The classical greedy cover (largest marginal gain first)."""
+        uncovered = set(range(self.universe_size))
+        chosen = []
+        while uncovered:
+            best, gain = None, 0
+            for i, s in enumerate(self.subsets):
+                g = len(s & uncovered)
+                if g > gain:
+                    best, gain = i, g
+            if best is None:
+                return None
+            chosen.append(best)
+            uncovered -= self.subsets[best]
+        return tuple(chosen)
+
+    def __repr__(self) -> str:
+        return (
+            f"SetCover(|U|={self.universe_size}, "
+            f"subsets={[sorted(s) for s in self.subsets]})"
+        )

@@ -1,0 +1,45 @@
+"""The interactive data-monitoring framework (Sect. 5 of the paper).
+
+* :mod:`repro.repair.oracle` — user models (the paper simulates feedback by
+  "providing the correct values of the given suggestions").
+* :mod:`repro.repair.transfix` — procedure TransFix (Fig. 5): fix validated
+  attributes by walking the rule dependency graph.
+* :mod:`repro.repair.region_search` — CompCRegion (the certain-region
+  deduction heuristic of the companion paper, reconstructed) and the GRegion
+  greedy baseline of Sect. 6.
+* :mod:`repro.repair.suggest` — procedure Suggest (Sect. 5.2): applicable
+  rules Σt[Z], rule refinement φ⁺, and new-suggestion computation.
+* :mod:`repro.repair.bdd` — the BDD suggestion cache behind Suggest⁺.
+* :mod:`repro.repair.certainfix` — algorithm CertainFix / CertainFix⁺
+  (Fig. 3): the interactive driver gluing everything together.
+"""
+
+from repro.repair.bdd import SuggestionCache
+from repro.repair.certainfix import CertainFix, FixSession, RoundLog
+from repro.repair.oracle import LyingUser, ScriptedUser, SimulatedUser
+from repro.repair.region_search import (
+    CertainRegionCandidate,
+    comp_c_region,
+    g_region,
+)
+from repro.repair.suggest import Suggestion, applicable_rules, suggest
+from repro.repair.transfix import MasterConflict, TransFixResult, transfix
+
+__all__ = [
+    "CertainFix",
+    "CertainRegionCandidate",
+    "FixSession",
+    "LyingUser",
+    "MasterConflict",
+    "RoundLog",
+    "ScriptedUser",
+    "SimulatedUser",
+    "Suggestion",
+    "SuggestionCache",
+    "TransFixResult",
+    "applicable_rules",
+    "comp_c_region",
+    "g_region",
+    "suggest",
+    "transfix",
+]

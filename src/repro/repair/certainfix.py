@@ -1,0 +1,293 @@
+"""Algorithm CertainFix / CertainFix⁺ (Sect. 5, Fig. 3).
+
+The interactive driver: pick the highest-quality precomputed certain region
+as the first suggestion; each round, ask the user to assert a suggested
+attribute set, validate that the asserted values lead to a unique fix
+(PTIME — the asserted tuple is a concrete pattern), run TransFix to fix and
+validate everything the rules entail, and compute the next suggestion until
+every attribute of the tuple is validated.
+
+``CertainFix⁺`` is the same driver with the BDD suggestion cache
+(:class:`repro.repair.bdd.SuggestionCache`) replacing fresh Suggest calls.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.dependency_graph import DependencyGraph
+from repro.core.fixes import chase
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+from repro.repair.bdd import SuggestionCache
+from repro.repair.region_search import comp_c_region
+from repro.repair.suggest import Suggestion, suggest
+from repro.repair.transfix import transfix
+
+
+@dataclass
+class RoundLog:
+    """What happened in one interaction round."""
+
+    index: int
+    suggested: tuple
+    asserted: tuple
+    corrected_by_user: tuple
+    fixed_by_rules: tuple
+    suggestion_source: str
+    elapsed: float
+    revisions: int = 0
+    row_after: object = None
+    validated_after: frozenset = frozenset()
+
+
+@dataclass
+class FixSession:
+    """Outcome of monitoring one input tuple."""
+
+    final: Row
+    validated: frozenset
+    rounds: list = field(default_factory=list)
+    completed: bool = False
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def attrs_fixed_by_rules(self) -> frozenset:
+        out = set()
+        for r in self.rounds:
+            out.update(r.fixed_by_rules)
+        return frozenset(out)
+
+    @property
+    def attrs_asserted_by_user(self) -> frozenset:
+        out = set()
+        for r in self.rounds:
+            out.update(r.asserted)
+        return frozenset(out)
+
+    @property
+    def attrs_corrected_by_user(self) -> frozenset:
+        out = set()
+        for r in self.rounds:
+            out.update(r.corrected_by_user)
+        return frozenset(out)
+
+    @property
+    def total_elapsed(self) -> float:
+        return sum(r.elapsed for r in self.rounds)
+
+    def state_after_round(self, k: int):
+        """The tuple and user-asserted attribute set after round *k*.
+
+        Rounds beyond the session's last repeat the final state (the tuple
+        was already fully validated), which is how the per-round recall
+        curves of Fig. 9 are read.
+        """
+        if not self.rounds or k < 1:
+            return self.final, frozenset()
+        index = min(k, len(self.rounds)) - 1
+        row = self.rounds[index].row_after
+        asserted = set()
+        for r in self.rounds[: index + 1]:
+            asserted.update(r.asserted)
+        return row, frozenset(asserted)
+
+
+class ValidationFailed(RuntimeError):
+    """The user's assertions kept conflicting with the rules and master data."""
+
+
+class CertainFix:
+    """The interactive monitoring engine.
+
+    Parameters
+    ----------
+    rules, master, schema:
+        The rule set Σ, master relation ``Dm`` and input schema ``R``.
+    regions:
+        Precomputed certain-region candidates (output of
+        :func:`repro.repair.region_search.comp_c_region`).  Computed once on
+        first use when omitted; index 0 (highest quality) seeds round 1.
+    use_bdd:
+        Enable the Suggest⁺ cache — this is CertainFix⁺.
+    initial_region_rank:
+        Which precomputed region to start from (0 = CRHQ; higher ranks give
+        the CRMQ comparison of Exp-1(2)).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence,
+        master: Relation,
+        schema: RelationSchema,
+        regions: list = None,
+        use_bdd: bool = False,
+        initial_region_rank: int = 0,
+        max_rounds: int = 12,
+        max_revisions: int = 3,
+        validate_uniqueness: bool = True,
+        suggest_validate_patterns: int = 48,
+    ):
+        self.rules = list(rules)
+        self.master = master
+        self.schema = schema
+        self.graph = DependencyGraph(self.rules)
+        self.max_rounds = max_rounds
+        self.max_revisions = max_revisions
+        self.validate_uniqueness = validate_uniqueness
+        self.suggest_validate_patterns = suggest_validate_patterns
+        self._regions = regions
+        self._initial_rank = initial_region_rank
+        self._pattern_cache: dict = {}
+        self._cache = (
+            SuggestionCache(
+                self.rules, master, schema,
+                validate_patterns=suggest_validate_patterns,
+            )
+            if use_bdd
+            else None
+        )
+        # Force master indexes for every rule key up front so the first
+        # monitored tuple does not pay index-build latency.
+        for rule in self.rules:
+            master.index_on(rule.lhs_m)
+
+    # -- precomputation ----------------------------------------------------------
+
+    @property
+    def regions(self) -> list:
+        if self._regions is None:
+            self._regions = comp_c_region(self.rules, self.master, self.schema)
+            if not self._regions:
+                raise ValueError(
+                    "no certain region exists for (Σ, Dm); CertainFix needs "
+                    "at least one to seed its first suggestion"
+                )
+        return self._regions
+
+    @property
+    def initial_region(self):
+        regions = self.regions
+        rank = min(self._initial_rank, len(regions) - 1)
+        return regions[rank]
+
+    @property
+    def cache_stats(self):
+        return self._cache.stats if self._cache is not None else None
+
+    # -- the main loop (Fig. 3) -----------------------------------------------
+
+    def fix(self, t: Row, oracle) -> FixSession:
+        """Monitor one input tuple to a certain fix.
+
+        Follows Fig. 3: Z' starts empty; each round recommends ``sug``,
+        collects the user's assertions, validates them (unique-fix check on
+        the concrete pattern ``t[Z' ∪ S]``), runs TransFix, and either
+        finishes or computes a new suggestion.
+        """
+        row = t
+        validated: frozenset = frozenset()
+        session = FixSession(final=row, validated=validated)
+        suggestion = Suggestion(
+            attrs=self.initial_region.region.attrs,
+            certain=True,
+            source="initial-region",
+        )
+        cursor = self._cache.start() if self._cache is not None else None
+        all_attrs = set(self.schema.attributes)
+
+        for round_index in range(1, self.max_rounds + 1):
+            started = time.perf_counter()
+            sug_attrs = tuple(
+                a for a in suggestion.attrs if a not in validated
+            )
+            if not sug_attrs:
+                sug_attrs = tuple(
+                    a for a in self.schema.attributes if a not in validated
+                )
+            values = oracle.assert_correct(row, sug_attrs)
+            corrected = tuple(
+                a for a, v in values.items() if row[a] != v
+            )
+            row = row.with_values(values)
+            asserted = frozenset(values)
+            revisions = 0
+
+            if self.validate_uniqueness:
+                while not self._unique(row, validated | asserted):
+                    revisions += 1
+                    if revisions > self.max_revisions:
+                        raise ValidationFailed(
+                            f"assertions on {sorted(asserted)} do not lead "
+                            f"to a unique fix after {revisions - 1} revisions"
+                        )
+                    values = oracle.revise(
+                        row, sug_attrs, "assertions conflict with master data"
+                    )
+                    row = row.with_values(values)
+                    asserted = asserted | frozenset(values)
+
+            validated = validated | asserted
+            result = transfix(
+                row, validated, self.rules, self.master, self.graph
+            )
+            row = result.row
+            validated = result.validated
+
+            done = set(validated) >= all_attrs
+            source = suggestion.source
+            if not done:
+                # Generating the next suggestion is part of this round's
+                # latency (Fig. 12 measures "the time spent on fixing tuples
+                # ... and for generating a suggestion").
+                if cursor is not None:
+                    suggestion = cursor.next_suggestion(row, validated)
+                else:
+                    suggestion = suggest(
+                        self.rules,
+                        self.master,
+                        self.schema,
+                        row,
+                        validated,
+                        pattern_cache=self._pattern_cache,
+                        validate_patterns=self.suggest_validate_patterns,
+                    )
+
+            session.rounds.append(
+                RoundLog(
+                    index=round_index,
+                    suggested=sug_attrs,
+                    asserted=tuple(sorted(asserted)),
+                    corrected_by_user=corrected,
+                    fixed_by_rules=result.fixed_attrs,
+                    suggestion_source=source,
+                    elapsed=time.perf_counter() - started,
+                    revisions=revisions,
+                    row_after=row,
+                    validated_after=validated,
+                )
+            )
+
+            if done:
+                session.completed = True
+                break
+
+        session.final = row
+        session.validated = validated
+        return session
+
+    def _unique(self, row: Row, validated: frozenset) -> bool:
+        outcome = chase(row, validated, self.rules, self.master)
+        return outcome.unique
+
+    # -- stream helper ----------------------------------------------------------
+
+    def fix_stream(self, pairs) -> list:
+        """Monitor a sequence of ``(dirty_row, oracle)`` pairs."""
+        return [self.fix(row, oracle) for row, oracle in pairs]

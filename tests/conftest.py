@@ -1,0 +1,39 @@
+"""Shared fixtures: the paper's running example and small dataset bundles."""
+
+import pytest
+
+from repro.datasets import make_dblp, make_dirty_dataset, make_hosp
+from repro.datasets.running_example import make_running_example
+
+
+@pytest.fixture(scope="session")
+def example():
+    """The Fig. 1 running example (schemas, master, rules, tuples, regions)."""
+    return make_running_example()
+
+
+@pytest.fixture(scope="session")
+def hosp():
+    """A small HOSP bundle (|Dm| = 150)."""
+    return make_hosp(num_hospitals=30, num_measures=5, seed=7)
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    """A small DBLP bundle (|Dm| = 150)."""
+    return make_dblp(num_papers=150, num_authors=60, num_venues=12, seed=11)
+
+
+@pytest.fixture(scope="session")
+def hosp_dirty(hosp):
+    """A small dirty HOSP workload at the paper's default rates."""
+    return make_dirty_dataset(
+        hosp, size=40, duplicate_rate=0.3, noise_rate=0.2, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def dblp_dirty(dblp):
+    return make_dirty_dataset(
+        dblp, size=40, duplicate_rate=0.3, noise_rate=0.2, seed=3
+    )

@@ -1,0 +1,71 @@
+"""The Suggest⁺ BDD cache (Figs. 7-8)."""
+
+from repro.repair.bdd import SuggestionCache
+from repro.repair.transfix import transfix
+
+
+def _state(example, name="t1"):
+    result = transfix(
+        example.inputs[name], {"zip"}, example.rules, example.master
+    )
+    return result.row, result.validated
+
+
+def test_first_tuple_misses_then_reuses(example):
+    cache = SuggestionCache(example.rules, example.master, example.schema)
+    row, z = _state(example)
+
+    cursor1 = cache.start()
+    suggestion1 = cursor1.next_suggestion(row, z)
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 0
+
+    cursor2 = cache.start()
+    suggestion2 = cursor2.next_suggestion(row, z)
+    assert cache.stats.hits == 1
+    assert suggestion2.attrs == suggestion1.attrs
+
+
+def test_cache_falls_through_on_invalid_suggestion(example):
+    cache = SuggestionCache(example.rules, example.master, example.schema)
+    row, z = _state(example)
+    cache.start().next_suggestion(row, z)
+
+    # A different validated set makes the cached S invalid (overlap).
+    z2 = z | {"phn", "type"}
+    cursor = cache.start()
+    suggestion = cursor.next_suggestion(row, z2)
+    assert cache.stats.misses == 2
+    assert not (set(suggestion.attrs) & z2)
+
+
+def test_cached_chain_grows_per_round(example):
+    cache = SuggestionCache(example.rules, example.master, example.schema)
+    row, z = _state(example)
+    cursor = cache.start()
+    first = cursor.next_suggestion(row, z)
+    # Simulate the user asserting the suggestion; next round state:
+    clean = example.masters["s1"]
+    updates = {}
+    for attr in first.attrs:
+        updates[attr] = clean[attr] if attr in clean.schema else row[attr]
+    row2 = row.with_values(updates)
+    z2 = frozenset(z) | set(first.attrs)
+    second = cursor.next_suggestion(row2, z2)
+    assert not (set(second.attrs) & z2)
+
+
+def test_hit_rate_accounting(example):
+    cache = SuggestionCache(example.rules, example.master, example.schema)
+    row, z = _state(example)
+    for _ in range(5):
+        cache.start().next_suggestion(row, z)
+    assert cache.stats.hits == 4
+    assert cache.stats.misses == 1
+    assert 0.79 < cache.stats.hit_rate < 0.81
+
+
+def test_cache_stats_zero_division():
+    from repro.repair.bdd import CacheStats
+
+    assert CacheStats().hit_rate == 0.0

@@ -1,0 +1,103 @@
+"""The exhaustive chase explorer and its agreement with the batched checker."""
+
+import pytest
+
+from repro.analysis.chase import ChaseExplosion, explore_fixes
+from repro.core.fixes import chase
+from repro.core.patterns import PatternTuple
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+
+
+def _setup(master_rows, rules_spec):
+    rm = RelationSchema("Rm", [(a, INT) for a in "wxyz"])
+    master = Relation(rm)
+    for row in master_rows:
+        master.insert(row)
+    rules = [
+        EditingRule(lhs, lhs_m, rhs, rhs_m, PatternTuple(pattern or {}),
+                    name=f"r{i}")
+        for i, (lhs, lhs_m, rhs, rhs_m, pattern) in enumerate(rules_spec)
+    ]
+    return master, rules
+
+
+def test_explorer_single_fixpoint():
+    master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+        ],
+    )
+    result = explore_fixes({"a": 1}, ("a",), rules, master)
+    assert result.unique
+    (assignment,) = result.final_assignments
+    assert assignment == {"a": 1, "b": 2, "c": 3}
+
+
+def test_explorer_enumerates_divergent_fixpoints():
+    master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    result = explore_fixes({"a": 1}, ("a",), rules, master)
+    assert not result.unique
+    values = sorted(a["b"] for a in result.final_assignments)
+    assert values == [2, 9]
+
+
+def test_explorer_order_dependent_divergence():
+    master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("a",), ("w",), "c", "y", None),
+            (("c",), ("y",), "b", "z", None),
+        ],
+    )
+    result = explore_fixes({"a": 1}, ("a",), rules, master)
+    assert not result.unique
+    assert sorted(a["b"] for a in result.final_assignments) == [2, 4]
+
+
+def test_explorer_agrees_with_batched_on_paper_example(example):
+    for name, region_key in (("t3", "ZAH"), ("t3", "ZAHZ"), ("t1", "Zzm")):
+        region = example.regions[region_key]
+        t = example.inputs[name]
+        if not region.marks(t):
+            continue
+        batched = chase(t, region.attrs, example.rules, example.master)
+        explored = explore_fixes(t, region.attrs, example.rules, example.master)
+        assert batched.unique == explored.unique, (name, region_key)
+        if batched.unique:
+            signature = {
+                a: v for a, v in batched.assignment.items()
+                if a in batched.covered
+            }
+            (final,) = explored.final_assignments
+            for attr, value in signature.items():
+                assert final[attr] == value
+
+
+def test_explorer_state_budget():
+    master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("a",), ("w",), "c", "y", None),
+            (("a",), ("w",), "d", "z", None),
+        ],
+    )
+    with pytest.raises(ChaseExplosion):
+        explore_fixes({"a": 1}, ("a",), rules, master, max_states=2)
+
+
+def test_explorer_counts_states():
+    master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    result = explore_fixes({"a": 1}, ("a",), rules, master)
+    assert result.states_visited == 2  # start + after firing

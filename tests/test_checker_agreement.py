@@ -1,0 +1,72 @@
+"""Cross-checker agreement: the direct-fix PTIME analysis vs the general
+instantiation-based checker, randomized (both implement Theorem 5's setting
+when rules are direct and single-step)."""
+
+import random
+
+import pytest
+
+from repro.analysis.consistency import is_consistent
+from repro.analysis.coverage import is_certain_region
+from repro.analysis.direct_fixes import (
+    is_direct_certain_region,
+    is_direct_consistent,
+)
+from repro.core.patterns import PatternTuple
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+
+R_ATTRS = ("a", "b", "c")
+M_ATTRS = ("w", "x", "y")
+
+
+def _random_direct_instance(rng):
+    """Rules with lhs ⊆ Z and Xp ⊆ lhs, so the two semantics coincide on
+    consistency; plus a concrete single-pattern region over Z."""
+    master = Relation(RelationSchema("Rm", [(m, INT) for m in M_ATTRS]))
+    for _ in range(rng.randint(1, 5)):
+        master.insert([rng.randint(0, 2) for _ in M_ATTRS])
+    z = ("a", "b")
+    rules = []
+    for i in range(rng.randint(1, 4)):
+        lhs_size = rng.randint(1, 2)
+        lhs = tuple(rng.sample(z, lhs_size))
+        rhs = rng.choice([x for x in R_ATTRS if x not in lhs and x not in z])
+        lhs_m = tuple(rng.choice(M_ATTRS) for _ in lhs)
+        rhs_m = rng.choice(M_ATTRS)
+        pattern = {}
+        if rng.random() < 0.5:
+            guard_attr = rng.choice(lhs)
+            pattern[guard_attr] = rng.randint(0, 2)
+        rules.append(
+            EditingRule(lhs, lhs_m, rhs, rhs_m, PatternTuple(pattern),
+                        name=f"r{i}")
+        )
+    pattern = PatternTuple({a: rng.randint(0, 2) for a in z})
+    schema = RelationSchema("R", [(a, INT) for a in R_ATTRS])
+    region = Region(z, None)
+    region.tableau.add(pattern)
+    return schema, master, rules, region
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_direct_and_general_consistency_agree(seed):
+    rng = random.Random(seed)
+    schema, master, rules, region = _random_direct_instance(rng)
+    direct = is_direct_consistent(rules, master, region, schema)
+    general = is_consistent(rules, master, region, schema)
+    # With rhs outside Z and single-step coverage only, the two notions of
+    # consistency coincide (no region extension can enable further rules:
+    # every rule's lhs is already inside Z).
+    assert direct == general, (rules, master.rows, region)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_direct_and_general_coverage_agree(seed):
+    rng = random.Random(100 + seed)
+    schema, master, rules, region = _random_direct_instance(rng)
+    direct = is_direct_certain_region(rules, master, region, schema)
+    general = is_certain_region(rules, master, region, schema)
+    assert direct == general, (rules, master.rows, region)

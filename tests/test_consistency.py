@@ -1,0 +1,152 @@
+"""The consistency problem (Theorems 1 and 4)."""
+
+import pytest
+
+from repro.analysis.consistency import (
+    AnalysisExplosion,
+    check_pattern,
+    check_region,
+    is_consistent,
+)
+from repro.core.patterns import ANY, PatternTuple, neq
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema, finite_domain
+
+
+def _setup(master_rows, rules_spec, domains=None):
+    r_attrs = "abcd"
+    domains = domains or {}
+    r = RelationSchema("R", [(a, domains.get(a, INT)) for a in r_attrs])
+    rm = RelationSchema("Rm", [(a, INT) for a in "wxyz"])
+    master = Relation(rm)
+    for row in master_rows:
+        master.insert(row)
+    rules = [
+        EditingRule(lhs, lhs_m, rhs, rhs_m, PatternTuple(pattern or {}),
+                    name=f"r{i}")
+        for i, (lhs, lhs_m, rhs, rhs_m, pattern) in enumerate(rules_spec)
+    ]
+    return r, master, rules
+
+
+def test_concrete_pattern_consistent():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)], [(("a",), ("w",), "b", "x", None)]
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    assert is_consistent(rules, master, region, r)
+
+
+def test_concrete_pattern_inconsistent():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4)], [(("a",), ("w",), "b", "x", None)]
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    report = check_region(rules, master, region, r)
+    assert not report.consistent
+    assert report.first_conflict() is not None
+
+
+def test_wildcard_instantiation_finds_hidden_conflict():
+    """The conflict only arises for a = 1; a wildcard pattern must find it."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4), (5, 7, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    region = Region.from_patterns(("a",), [{"a": ANY}])
+    assert not is_consistent(rules, master, region, r)
+    safe = Region.from_patterns(("a",), [{"a": 5}])
+    assert is_consistent(rules, master, safe, r)
+
+
+def test_negated_pattern_excludes_the_conflict():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4), (5, 7, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    region = Region.from_patterns(("a",), [{"a": neq(1)}])
+    assert is_consistent(rules, master, region, r)
+
+
+def test_multi_pattern_tableau_checked_one_by_one():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4), (5, 7, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    region = Region.from_patterns(("a",), [{"a": 5}, {"a": 1}])
+    report = check_region(rules, master, region, r)
+    assert [c.consistent for c in report.checks] == [True, False]
+    assert not report.consistent
+
+
+def test_unsatisfiable_pattern_is_vacuously_certain():
+    one = finite_domain("one", {1})
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+        domains={"a": one},
+    )
+    region = Region.from_patterns(("a",), [{"a": neq(1)}])  # no a satisfies
+    report = check_region(rules, master, region, r)
+    assert report.consistent and report.certain
+    assert report.checks[0].instantiations == 0
+
+
+def test_finite_domain_instantiation_is_bounded():
+    two = finite_domain("two", {1, 5})
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+        domains={"a": two},
+    )
+    region = Region.from_patterns(("a",), [{"a": ANY}])
+    report = check_region(rules, master, region, r)
+    assert not report.consistent
+    assert report.checks[0].instantiations <= 2
+
+
+def test_instantiation_budget_raises():
+    rules_spec = [
+        (("a",), ("w",), "b", "x", {"a": 1, "c": 1, "d": 1}),
+    ]
+    rows = [(i, i, i, i) for i in range(10)]
+    r, master, rules = _setup(rows, rules_spec)
+    region = Region.from_patterns(
+        ("a", "c", "d"), [{"a": ANY, "c": ANY, "d": ANY}]
+    )
+    with pytest.raises(AnalysisExplosion):
+        check_region(rules, master, region, r, max_instantiations=3)
+
+
+def test_coverage_failure_reports_uncovered_attrs():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)], [(("a",), ("w",), "b", "x", None)]
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    check = check_pattern(
+        rules, master, region, region.tableau.patterns[0], r
+    )
+    assert check.consistent and not check.certain
+    assert set(check.uncovered) == {"c", "d"}
+
+
+def test_consistency_independent_of_coverage():
+    """A region can be consistent without covering R (t4-style tuples)."""
+    r, master, rules = _setup(
+        [(5, 2, 3, 4)], [(("a",), ("w",), "b", "x", None)]
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])  # never matches master
+    report = check_region(rules, master, region, r)
+    assert report.consistent
+    assert not report.certain
+
+
+def test_report_describe_is_readable():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)], [(("a",), ("w",), "b", "x", None)]
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    text = check_region(rules, master, region, r).describe()
+    assert "Region" in text and "consistent" in text

@@ -1,0 +1,116 @@
+"""The coverage problem: certain regions (Theorem 2)."""
+
+from repro.analysis.coverage import coverage_report, is_certain_region
+from repro.core.patterns import ANY, PatternTuple
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+
+
+def _setup(master_rows, rules_spec):
+    r = RelationSchema("R", [(a, INT) for a in "abcd"])
+    rm = RelationSchema("Rm", [(a, INT) for a in "wxyz"])
+    master = Relation(rm)
+    for row in master_rows:
+        master.insert(row)
+    rules = [
+        EditingRule(lhs, lhs_m, rhs, rhs_m, PatternTuple(pattern or {}),
+                    name=f"r{i}")
+        for i, (lhs, lhs_m, rhs, rhs_m, pattern) in enumerate(rules_spec)
+    ]
+    return r, master, rules
+
+
+def test_full_chain_region_is_certain():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+            (("c",), ("y",), "d", "z", None),
+        ],
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    assert is_certain_region(rules, master, region, r)
+
+
+def test_missing_rule_breaks_coverage():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+        ],
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    assert not is_certain_region(rules, master, region, r)
+
+
+def test_region_can_cover_by_including_unfixable_attrs():
+    """Attributes not fixable by rules must sit in Z (Example 8's item)."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+        ],
+    )
+    region = Region.from_patterns(("a", "d"), [{"a": 1, "d": ANY}])
+    assert is_certain_region(rules, master, region, r)
+
+
+def test_no_master_match_breaks_coverage():
+    r, master, rules = _setup(
+        [(9, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+            (("c",), ("y",), "d", "z", None),
+        ],
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    assert not is_certain_region(rules, master, region, r)
+
+
+def test_inconsistent_region_is_not_certain():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+            (("c",), ("y",), "d", "z", None),
+        ],
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    report = coverage_report(rules, master, region, r)
+    assert not report.certain
+    assert not report.consistent
+
+
+def test_paper_certain_regions(example):
+    """Example 9: (Zzmi, Tzmi) and (ZL, TL) are certain; (Zzm, Tzm) is not."""
+    assert is_certain_region(
+        example.rules, example.master, example.regions["Zzmi"], example.schema
+    )
+    assert is_certain_region(
+        example.rules, example.master, example.regions["ZL"], example.schema
+    )
+    assert not is_certain_region(
+        example.rules, example.master, example.regions["Zzm"], example.schema
+    )
+
+
+def test_paper_zah_consistent_but_not_certain(example):
+    report = coverage_report(
+        example.rules, example.master, example.regions["ZAH"], example.schema
+    )
+    assert report.consistent
+    assert not report.certain  # FN/LN/item never covered
+
+
+def test_paper_zahz_is_inconsistent(example):
+    report = coverage_report(
+        example.rules, example.master, example.regions["ZAHZ"], example.schema
+    )
+    assert not report.consistent

@@ -1,0 +1,114 @@
+"""Batch database repair (future-work extension)."""
+
+import pytest
+
+from repro.datasets import make_dirty_dataset
+from repro.engine.relation import Relation
+from repro.repair.database_repair import repair_database
+from repro.repair.region_search import comp_c_region
+
+
+@pytest.fixture(scope="module")
+def hosp_regions(hosp):
+    return comp_c_region(hosp.rules, hosp.master, hosp.schema,
+                         validate_patterns=256)
+
+
+def _dirty_relation(hosp, duplicate_rate, noise, size=30, seed=21,
+                    noise_attrs=None):
+    data = make_dirty_dataset(hosp, size=size, duplicate_rate=duplicate_rate,
+                              noise_rate=noise, seed=seed,
+                              noise_attrs=noise_attrs)
+    relation = Relation(hosp.schema)
+    for dt in data:
+        relation.insert(dt.dirty)
+    return relation, data
+
+
+def test_corroborated_tuples_fully_fixed(hosp, hosp_regions):
+    """Master tuples with errors outside Z are repaired to the truth."""
+    relation, data = _dirty_relation(
+        hosp, duplicate_rate=1.0, noise=0.3,
+        noise_attrs=tuple(a for a in hosp.schema.attributes
+                          if a not in ("id", "mCode")),
+    )
+    repaired, report = repair_database(
+        relation, hosp.rules, hosp.master, hosp.schema, regions=hosp_regions
+    )
+    assert report.total == len(data)
+    assert report.fully_fixed == report.total
+    for row, dt in zip(repaired, data):
+        assert row == dt.clean
+
+
+def test_uncorroborated_tuples_left_alone(hosp, hosp_regions):
+    """Tuples whose Z values match no master projection are never touched.
+
+    Noise is kept off the key attributes here: swap-noise on ``id`` can
+    plant a *real* master id into a non-master tuple, which corroborates it
+    under the stated assumption (see test_dirty_key_attrs_block_repair).
+    """
+    relation, data = _dirty_relation(
+        hosp, duplicate_rate=0.0, noise=0.2,
+        noise_attrs=tuple(a for a in hosp.schema.attributes
+                          if a not in ("id", "mCode")),
+    )
+    repaired, report = repair_database(
+        relation, hosp.rules, hosp.master, hosp.schema, regions=hosp_regions
+    )
+    assert report.fully_fixed == 0
+    for row, dt in zip(repaired, data):
+        assert row == dt.dirty  # unchanged, not guessed at
+
+
+def test_dirty_key_attrs_block_repair(hosp, hosp_regions):
+    """Errors inside Z de-corroborate the tuple: no repair, no damage."""
+    relation, data = _dirty_relation(
+        hosp, duplicate_rate=1.0, noise=0.9, noise_attrs=("id",)
+    )
+    repaired, report = repair_database(
+        relation, hosp.rules, hosp.master, hosp.schema, regions=hosp_regions
+    )
+    # Only rows whose id survived uncorrupted (or collided with a real id)
+    # can be corroborated; corrupted-id rows pass through unchanged.
+    for row, dt in zip(repaired, data):
+        if dt.dirty["id"] not in hosp.master.active_values("id"):
+            assert row == dt.dirty
+
+
+def test_report_accounting(hosp, hosp_regions):
+    relation, _ = _dirty_relation(hosp, duplicate_rate=0.5, noise=0.2)
+    _, report = repair_database(
+        relation, hosp.rules, hosp.master, hosp.schema, regions=hosp_regions
+    )
+    assert report.total == len(relation)
+    assert (report.fully_fixed + report.partially_fixed + report.untouched
+            == report.total)
+    assert report.corroborated >= report.fully_fixed
+    assert "tuples" in report.describe()
+
+
+def test_regions_computed_when_omitted(hosp):
+    relation, _ = _dirty_relation(hosp, duplicate_rate=0.4, noise=0.1,
+                                  size=10)
+    repaired, report = repair_database(
+        relation, hosp.rules, hosp.master, hosp.schema
+    )
+    assert len(repaired) == len(relation)
+
+
+def test_no_wrong_values_ever(hosp, hosp_regions):
+    """The certain-fix guarantee carries over: every change is correct,
+    provided corroborated Z values are in fact correct (clean-key noise)."""
+    relation, data = _dirty_relation(
+        hosp, duplicate_rate=0.6, noise=0.3, size=40,
+        noise_attrs=tuple(a for a in hosp.schema.attributes
+                          if a not in ("id", "mCode")),
+    )
+    repaired, report = repair_database(
+        relation, hosp.rules, hosp.master, hosp.schema, regions=hosp_regions
+    )
+    for row, dt in zip(repaired, data):
+        for attr in hosp.schema.attributes:
+            if row[attr] != dt.dirty[attr]:       # the repair changed it
+                assert row[attr] == dt.clean[attr]  # ... correctly

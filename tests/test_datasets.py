@@ -1,0 +1,159 @@
+"""The HOSP and DBLP generators: schemas, FDs, rule counts, determinism."""
+
+import random
+
+from repro.constraints.fd import all_hold
+from repro.datasets.dblp import dblp_fds, dblp_rules, make_dblp, DBLP_ATTRS
+from repro.datasets.hosp import hosp_fds, hosp_rules, make_hosp, HOSP_ATTRS
+from repro.engine.values import NULL
+
+
+def test_hosp_schema_has_19_attributes(hosp):
+    assert len(HOSP_ATTRS) == 19
+    assert hosp.schema.attributes == HOSP_ATTRS
+    assert hosp.master_schema.attributes == HOSP_ATTRS  # R = Rm, as in Sect. 6
+
+
+def test_hosp_has_21_rules(hosp):
+    assert len(hosp.rules) == 21
+
+
+def test_hosp_contains_the_five_published_rules(hosp):
+    """φ1: zip→ST, φ2: phn→zip, φ3: (mCode,ST)→sAvg, φ4: (id,mCode)→Score,
+    φ5: id→hName — all with non-nil guards."""
+    signatures = {(r.lhs, r.rhs) for r in hosp.rules}
+    assert (("zip",), "ST") in signatures
+    assert (("phn",), "zip") in signatures
+    assert (("mCode", "ST"), "sAvg") in signatures
+    assert (("id", "mCode"), "Score") in signatures
+    assert (("id",), "hName") in signatures
+
+
+def test_hosp_nil_guards(hosp):
+    for rule in hosp.rules:
+        for attr in rule.lhs:
+            condition = rule.pattern.get(attr)
+            assert condition is not None and condition.is_negation
+            assert condition.value is NULL
+
+
+def test_hosp_master_satisfies_fd_suite(hosp):
+    assert all_hold(hosp_fds(), hosp.master)
+
+
+def test_hosp_master_size_is_hospitals_times_measures():
+    bundle = make_hosp(num_hospitals=12, num_measures=4, seed=1)
+    assert len(bundle.master) == 48
+
+
+def test_hosp_generation_is_deterministic():
+    a = make_hosp(num_hospitals=8, num_measures=3, seed=5)
+    b = make_hosp(num_hospitals=8, num_measures=3, seed=5)
+    assert [r.values for r in a.master] == [r.values for r in b.master]
+
+
+def test_hosp_state_averages_are_true_averages(hosp):
+    scores: dict = {}
+    for row in hosp.master:
+        scores.setdefault((row["mCode"], row["ST"]), set()).add(
+            (row["id"], row["Score"])
+        )
+    for (m_code, state), pairs in scores.items():
+        values = [s for _, s in pairs]
+        expected = f"{sum(values) / len(values):.1f}"
+        sample_row = next(
+            r for r in hosp.master
+            if r["mCode"] == m_code and r["ST"] == state
+        )
+        assert sample_row["sAvg"] == expected
+
+
+def test_hosp_entity_factory_consistent_with_master(hosp):
+    rng = random.Random(0)
+    for _ in range(20):
+        row = hosp.entity_factory(rng)
+        assert row["id"] not in hosp.master.active_values("id")
+        if row["zip"] in hosp.zip_map:
+            city, state = hosp.zip_map[row["zip"]]
+            assert (row["city"], row["ST"]) == (city, state)
+        m_name, condition = hosp.measure_map[row["mCode"]]
+        assert (row["mName"], row["condition"]) == (m_name, condition)
+        key = (row["mCode"], row["ST"])
+        if key in hosp.state_avg:
+            assert row["sAvg"] == hosp.state_avg[key]
+
+
+def test_hosp_rejects_too_many_measures():
+    import pytest
+
+    with pytest.raises(ValueError, match="at most"):
+        make_hosp(num_hospitals=2, num_measures=99)
+
+
+def test_dblp_schema_has_12_attributes(dblp):
+    assert len(DBLP_ATTRS) == 12
+    assert dblp.schema.attributes == DBLP_ATTRS
+
+
+def test_dblp_has_16_rules(dblp):
+    assert len(dblp.rules) == 16
+
+
+def test_dblp_cross_attribute_homepage_rules(dblp):
+    """φ2 matches input a2 against master a1 — not expressible as a CFD."""
+    by_name = {r.name: r for r in dblp.rules}
+    phi2 = by_name["phi2"]
+    assert phi2.lhs == ("a2",) and phi2.lhs_m == ("a1",)
+    assert phi2.rhs == "hp2" and phi2.rhs_m == "hp1"
+    phi4 = by_name["phi4"]
+    assert phi4.lhs == ("a1",) and phi4.lhs_m == ("a2",)
+
+
+def test_dblp_rule_families_have_documented_ranges(dblp):
+    names = {r.name for r in dblp.rules}
+    assert {f"phi5[{a}]" for a in ("isbn", "publisher", "crossref")} <= names
+    assert {f"phi6[{a}]" for a in ("btitle", "year", "isbn", "publisher")} <= names
+    assert {
+        f"phi7[{a}]"
+        for a in ("isbn", "publisher", "year", "btitle", "crossref")
+    } <= names
+
+
+def test_dblp_master_satisfies_fd_suite(dblp):
+    assert all_hold(dblp_fds(), dblp.master)
+
+
+def test_dblp_homepages_consistent_across_author_columns(dblp):
+    """The same person as a1 or a2 must carry the same homepage, or the
+    cross rules φ2/φ4 would be inconsistent."""
+    homepages: dict = {}
+    for row in dblp.master:
+        for author_col, hp_col in (("a1", "hp1"), ("a2", "hp2")):
+            author, homepage = row[author_col], row[hp_col]
+            assert homepages.setdefault(author, homepage) == homepage
+
+
+def test_dblp_entity_factory_consistent_with_master(dblp):
+    rng = random.Random(0)
+    titles = dblp.master.active_values("ptitle")
+    for _ in range(20):
+        row = dblp.entity_factory(rng)
+        assert row["ptitle"] not in titles
+        assert row["type"] == "inproceedings"
+        if row["crossref"] in dblp.venues:
+            btitle, year, publisher, isbn = dblp.venues[row["crossref"]]
+            assert row["btitle"] == btitle and row["year"] == year
+            assert row["publisher"] == publisher and row["isbn"] == isbn
+        if row["a1"] in dblp.authors:
+            assert row["hp1"] == dblp.authors[row["a1"]]
+
+
+def test_dblp_generation_is_deterministic():
+    a = make_dblp(num_papers=30, num_authors=10, num_venues=4, seed=2)
+    b = make_dblp(num_papers=30, num_authors=10, num_venues=4, seed=2)
+    assert [r.values for r in a.master] == [r.values for r in b.master]
+
+
+def test_rule_builders_are_pure():
+    assert hosp_rules() == hosp_rules()
+    assert dblp_rules() == dblp_rules()

@@ -1,0 +1,74 @@
+"""The rule dependency graph (Sect. 5.1, Fig. 4)."""
+
+from repro.analysis.dependency_graph import DependencyGraph
+from repro.core.patterns import PatternTuple
+from repro.core.rules import EditingRule
+
+
+def _rule(lhs, rhs, pattern=None, name=None):
+    lhs = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+    return EditingRule(
+        lhs, tuple("m" + a for a in lhs), rhs, "m" + rhs,
+        PatternTuple(pattern or {}), name=name,
+    )
+
+
+def test_edges_follow_rhs_to_premise():
+    rules = [_rule("a", "b", name="ab"), _rule("b", "c", name="bc")]
+    g = DependencyGraph(rules)
+    assert len(g) == 2
+    assert g.edge_count == 1
+    (edge,) = g.edges()
+    assert edge[0].name == "ab" and edge[1].name == "bc"
+
+
+def test_pattern_attrs_create_edges_too():
+    rules = [
+        _rule("a", "b", name="ab"),
+        _rule("c", "d", pattern={"b": 1}, name="cd"),
+    ]
+    g = DependencyGraph(rules)
+    assert g.edge_count == 1
+    assert g.successors(0) == [1]
+
+
+def test_cycles_allowed_and_detected():
+    rules = [_rule("a", "b"), _rule("b", "a")]
+    g = DependencyGraph(rules)
+    assert g.has_cycle
+    acyclic = DependencyGraph([_rule("a", "b"), _rule("b", "c")])
+    assert not acyclic.has_cycle
+
+
+def test_stratification_topological():
+    rules = [_rule("b", "c", name="2"), _rule("a", "b", name="1")]
+    g = DependencyGraph(rules)
+    layers = g.stratification()
+    flat = [g.rules[i].name for layer in layers for i in layer]
+    assert flat.index("1") < flat.index("2")
+
+
+def test_roots():
+    rules = [_rule("a", "b"), _rule("b", "c")]
+    g = DependencyGraph(rules)
+    assert g.roots() == [0]
+
+
+def test_running_example_fig4_edges(example):
+    """Fig. 4: φ1 (zip→AC) enables φ6-φ8 (AC ∈ lhs) and φ9 (AC ∈ lhs/Xp)."""
+    g = DependencyGraph(example.rules)
+    by_name = {rule.name: i for i, rule in enumerate(g.rules)}
+    successors = {
+        g.rules[i].name for i in g.successors(by_name["phi1"])
+    }
+    assert {"phi6", "phi7", "phi8", "phi9"} <= successors
+    # φ8 (→zip) enables the zip-keyed rules φ1-φ3.
+    successors8 = {g.rules[i].name for i in g.successors(by_name["phi8"])}
+    assert {"phi1", "phi2", "phi3"} <= successors8
+
+
+def test_to_networkx_preserves_names(example):
+    g = DependencyGraph(example.rules)
+    nx_graph = g.to_networkx()
+    assert set(nx_graph.nodes) == {rule.name for rule in example.rules}
+    assert nx_graph.number_of_edges() == g.edge_count

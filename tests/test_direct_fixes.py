@@ -1,0 +1,207 @@
+"""Direct fixes (Theorem 5): PTIME consistency and coverage, plus SQL text."""
+
+import pytest
+
+from repro.analysis.direct_fixes import (
+    NotDirectError,
+    direct_conflicts,
+    direct_consistency_queries,
+    eval_q_phi,
+    is_direct_certain_region,
+    is_direct_consistent,
+    sigma_z,
+)
+from repro.core.patterns import ANY, PatternTuple, neq
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+from repro.engine.sql import render_q_pair, render_q_phi
+
+
+def _setup(master_rows, rules_spec):
+    r = RelationSchema("R", [(a, INT) for a in "abcd"])
+    rm = RelationSchema("Rm", [(a, INT) for a in "wxyz"])
+    master = Relation(rm)
+    for row in master_rows:
+        master.insert(row)
+    rules = [
+        EditingRule(lhs, lhs_m, rhs, rhs_m, PatternTuple(pattern or {}),
+                    name=f"r{i}")
+        for i, (lhs, lhs_m, rhs, rhs_m, pattern) in enumerate(rules_spec)
+    ]
+    return r, master, rules
+
+
+def test_non_direct_rules_rejected():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", {"c": 1})],  # pattern attr outside lhs
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    with pytest.raises(NotDirectError):
+        is_direct_consistent(rules, master, region, r)
+
+
+def test_sigma_z_filters_by_lhs_and_rhs():
+    _, _, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("c",), ("y",), "d", "z", None),
+            (("a",), ("w",), "c", "y", None),
+        ],
+    )
+    active = sigma_z(rules, frozenset({"a", "c"}))
+    assert [r.name for r in active] == ["r0", "r1"]  # r2 targets c ∈ Z
+
+
+def test_self_pair_conflict_detected():
+    """One rule, two master tuples with the same key, different targets."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    conflicts = direct_conflicts(rules, master, region, r)
+    assert conflicts
+    assert conflicts[0].attr == "b"
+    assert not is_direct_consistent(rules, master, region, r)
+
+
+def test_cross_rule_conflict_detected():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),   # b := 2
+            (("c",), ("y",), "b", "z", None),   # b := 4
+        ],
+    )
+    region = Region.from_patterns(("a", "c"), [{"a": 1, "c": 3}])
+    conflicts = direct_conflicts(rules, master, region, r)
+    assert any(c.values == (2, 4) or c.values == (4, 2) for c in conflicts)
+
+
+def test_wildcard_region_pattern_handled_without_instantiation():
+    """Direct fixes stay PTIME for arbitrary Tc — no instantiation needed."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4), (5, 7, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    bad = Region.from_patterns(("a",), [{"a": ANY}])
+    assert not is_direct_consistent(rules, master, bad, r)
+    good = Region.from_patterns(("a",), [{"a": neq(1)}])
+    assert is_direct_consistent(rules, master, good, r)
+
+
+def test_direct_coverage_needs_constants_and_master_match():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("a",), ("w",), "c", "y", None),
+            (("a",), ("w",), "d", "z", None),
+        ],
+    )
+    concrete = Region.from_patterns(("a",), [{"a": 1}])
+    assert is_direct_certain_region(rules, master, concrete, r)
+    wildcard_region = Region.from_patterns(("a",), [{"a": ANY}])
+    assert not is_direct_certain_region(rules, master, wildcard_region, r)
+    no_match = Region.from_patterns(("a",), [{"a": 7}])
+    assert not is_direct_certain_region(rules, master, no_match, r)
+
+
+def test_direct_coverage_no_region_extension():
+    """Chained rules do NOT help direct fixes (b -> c needs b ∈ Z)."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+            (("c",), ("y",), "d", "z", None),
+        ],
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    assert not is_direct_certain_region(rules, master, region, r)
+    full = Region.from_patterns(
+        ("a", "b", "c"), [{"a": 1, "b": 2, "c": 3}]
+    )
+    assert is_direct_certain_region(rules, master, full, r)
+
+
+def test_eval_q_phi_applies_both_pattern_filters():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (5, 6, 3, 4)],
+        [(("a",), ("w",), "b", "x", {"a": 1})],
+    )
+    pattern = PatternTuple({"a": ANY})
+    results = eval_q_phi(rules[0], pattern, master)
+    assert len(results) == 1
+    key, value = results[0]
+    assert key == {"a": 1} and value == 2
+
+
+def test_eval_q_phi_deduplicates():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 2, 9, 9)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    results = eval_q_phi(rules[0], PatternTuple({"a": ANY}), master)
+    assert len(results) == 1
+
+
+def test_rendered_sql_structure():
+    _, _, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", {"a": neq(9)})],
+    )
+    sql = render_q_phi(rules[0], PatternTuple({"a": 1}), "Dm")
+    assert "SELECT DISTINCT" in sql
+    assert "Dm.w AS a" in sql
+    assert "Dm.x AS b" in sql
+    assert "Dm.w <> 9" in sql  # the rule's negated pattern
+    assert "Dm.w = 1" in sql   # the region constant
+
+
+def test_rendered_pair_query_uses_inequality():
+    _, _, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("a", "c"), ("w", "y"), "b", "z", None),
+        ],
+    )
+    sql = render_q_pair(rules[0], rules[1], PatternTuple({"a": 1, "c": ANY}))
+    assert "R1.b <> R2.b" in sql
+    assert "R1.a = R2.a" in sql
+
+
+def test_query_list_covers_rule_pairs():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("c",), ("y",), "b", "z", None),
+            (("a",), ("w",), "d", "z", None),
+        ],
+    )
+    region = Region.from_patterns(("a", "c"), [{"a": 1, "c": 3}])
+    queries = direct_consistency_queries(rules, "Dm", region)
+    # pairs with same rhs: (r0,r0), (r0,r1), (r1,r1), (r2,r2) -> 4
+    assert len(queries) == 4
+
+
+def test_direct_vs_general_checker_agreement():
+    """On direct-fix rule sets with single-step coverage, the two checkers
+    agree on consistency."""
+    from repro.analysis.consistency import is_consistent
+
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4), (5, 7, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    for value in (1, 5, 7):
+        region = Region.from_patterns(("a",), [{"a": value}])
+        assert is_direct_consistent(rules, master, region, r) == is_consistent(
+            rules, master, region, r
+        )

@@ -1,0 +1,91 @@
+"""The dirty-data generator (d%, n%, |Dm| controls)."""
+
+import random
+
+from repro.datasets.dirty import _corrupt, _typo, make_dirty_dataset
+from repro.engine.values import NULL
+
+
+def test_duplicate_rate_controls_master_fraction(hosp):
+    for d in (0.0, 0.5, 1.0):
+        data = make_dirty_dataset(hosp, size=120, duplicate_rate=d,
+                                  noise_rate=0.2, seed=1)
+        assert abs(data.master_fraction - d) < 0.15
+
+
+def test_master_tuples_really_come_from_master(hosp):
+    data = make_dirty_dataset(hosp, size=60, duplicate_rate=1.0,
+                              noise_rate=0.0, seed=2)
+    master_values = {row.values for row in hosp.master}
+    for dt in data:
+        assert dt.clean.values in master_values
+        assert dt.dirty == dt.clean  # zero noise
+
+
+def test_noise_rate_controls_error_density(hosp):
+    low = make_dirty_dataset(hosp, size=80, duplicate_rate=0.3,
+                             noise_rate=0.05, seed=3)
+    high = make_dirty_dataset(hosp, size=80, duplicate_rate=0.3,
+                              noise_rate=0.5, seed=3)
+
+    def error_density(data):
+        errors = sum(len(dt.erroneous_attrs) for dt in data)
+        return errors / (len(data) * 19)
+
+    assert error_density(low) < 0.12
+    assert 0.3 < error_density(high) < 0.65
+
+
+def test_dirty_tuples_expose_ground_truth(hosp):
+    data = make_dirty_dataset(hosp, size=20, duplicate_rate=0.5,
+                              noise_rate=0.3, seed=4)
+    for dt in data:
+        for attr in dt.erroneous_attrs:
+            assert dt.dirty[attr] != dt.clean[attr]
+        assert dt.is_erroneous == bool(dt.erroneous_attrs)
+
+
+def test_noise_attrs_restriction(hosp):
+    data = make_dirty_dataset(hosp, size=50, duplicate_rate=0.5,
+                              noise_rate=0.6, seed=5,
+                              noise_attrs=("city", "zip"))
+    for dt in data:
+        assert set(dt.erroneous_attrs) <= {"city", "zip"}
+
+
+def test_generation_deterministic(hosp):
+    a = make_dirty_dataset(hosp, size=30, duplicate_rate=0.3,
+                           noise_rate=0.2, seed=6)
+    b = make_dirty_dataset(hosp, size=30, duplicate_rate=0.3,
+                           noise_rate=0.2, seed=6)
+    assert [dt.dirty.values for dt in a] == [dt.dirty.values for dt in b]
+
+
+def test_typo_changes_strings_and_ints():
+    rng = random.Random(7)
+    for _ in range(50):
+        assert _typo("hello", rng) != ""
+        assert isinstance(_typo(42, rng), int)
+        assert _typo(42, rng) != 42
+
+
+def test_corrupt_guarantees_difference(hosp):
+    rng = random.Random(8)
+    for _ in range(50):
+        value = _corrupt("Springfield", "city", hosp.master, rng)
+        assert value != "Springfield"
+
+
+def test_corrupt_can_produce_nulls(hosp):
+    rng = random.Random(9)
+    values = {
+        _corrupt("Springfield", "city", hosp.master, rng) for _ in range(200)
+    }
+    assert NULL in values
+
+
+def test_erroneous_count_and_len(hosp):
+    data = make_dirty_dataset(hosp, size=25, duplicate_rate=0.3,
+                              noise_rate=0.4, seed=10)
+    assert len(data) == 25
+    assert 0 < data.erroneous_count <= 25

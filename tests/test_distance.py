@@ -1,0 +1,39 @@
+"""Edit distance and the cost model."""
+
+from repro.constraints.distance import levenshtein, normalized_distance
+from repro.engine.values import NULL, UNKNOWN
+
+
+def test_levenshtein_basics():
+    assert levenshtein("", "") == 0
+    assert levenshtein("abc", "abc") == 0
+    assert levenshtein("abc", "") == 3
+    assert levenshtein("", "abc") == 3
+    assert levenshtein("kitten", "sitting") == 3
+    assert levenshtein("flaw", "lawn") == 2
+
+
+def test_levenshtein_symmetry():
+    assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+
+def test_levenshtein_single_ops():
+    assert levenshtein("abc", "abd") == 1   # substitute
+    assert levenshtein("abc", "abcd") == 1  # insert
+    assert levenshtein("abc", "ac") == 1    # delete
+
+
+def test_normalized_distance_bounds():
+    assert normalized_distance("same", "same") == 0.0
+    assert normalized_distance("a", "z") == 1.0
+    assert 0.0 < normalized_distance("abcd", "abce") < 1.0
+
+
+def test_null_overwrites_are_free():
+    assert normalized_distance(NULL, "value") == 0.0
+    assert normalized_distance(UNKNOWN, "value") == 0.0
+
+
+def test_non_string_values_coerced():
+    assert normalized_distance(123, 124) > 0.0
+    assert normalized_distance(123, 123) == 0.0

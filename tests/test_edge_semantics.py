@@ -1,0 +1,106 @@
+"""Documented edge cases of the rule semantics."""
+
+import pytest
+
+from repro.core.fixes import chase
+from repro.core.patterns import ANY, PatternTuple, neq
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+from repro.engine.values import NULL, UNKNOWN
+
+
+def _master(rows, attrs="wxyz"):
+    rm = RelationSchema("Rm", [(a, INT) for a in attrs])
+    m = Relation(rm)
+    for row in rows:
+        m.insert(row)
+    return m
+
+
+def test_empty_lhs_rule_is_unconditional():
+    """|X| = 0 is permitted: t[∅] = tm[∅] holds trivially, so the rule
+    matches every master tuple — usable only when the source column is
+    constant (otherwise it immediately conflicts)."""
+    master = _master([(1, 2, 3, 4)])
+    rule = EditingRule((), (), "b", "x", PatternTuple({}))
+    out = chase({"a": 0}, ("a",), [rule], master)
+    assert out.unique
+    assert out.assignment["b"] == 2
+
+    two_rows = _master([(1, 2, 3, 4), (1, 9, 3, 4)])
+    out2 = chase({"a": 0}, ("a",), [rule], two_rows)
+    assert not out2.unique
+
+
+def test_null_is_an_ordinary_matchable_value():
+    """NULL participates in key matching like any value — which is exactly
+    why the HOSP/DBLP rules carry ≠ NULL guards."""
+    master = _master([(NULL, 2, 3, 4)])
+    unguarded = EditingRule(("a",), ("w",), "b", "x")
+    out = chase({"a": NULL}, ("a",), [unguarded], master)
+    assert out.assignment["b"] == 2  # NULL matched NULL!
+
+    guarded = EditingRule(("a",), ("w",), "b", "x",
+                          PatternTuple({"a": neq(NULL)}))
+    out2 = chase({"a": NULL}, ("a",), [guarded], master)
+    assert out2.assignment["b"] is UNKNOWN  # guard blocked the match
+
+
+def test_unknown_key_blocks_application():
+    master = _master([(1, 2, 3, 4)])
+    rule = EditingRule(("a",), ("w",), "b", "x")
+    out = chase({"c": 5}, ("c",), [rule], master)  # a never validated
+    assert out.covered == {"c"}
+
+
+def test_rule_writing_its_own_pattern_attr_rejected_by_region_semantics():
+    """A rule whose pattern mentions its own target can never fire: the
+    premise requires B validated, and validated targets are protected."""
+    master = _master([(1, 2, 3, 4)])
+    rule = EditingRule(("a",), ("w",), "b", "x", PatternTuple({"b": 7}))
+    out = chase({"a": 1, "b": 7}, ("a", "b"), [rule], master)
+    # b ∈ Z: protected; nothing fires.
+    assert not out.fired
+    out2 = chase({"a": 1}, ("a",), [rule], master)
+    # b ∉ Z: premise {a, b} ⊄ Z; nothing fires either.
+    assert not out2.fired
+
+
+def test_self_reinforcing_cycle_terminates():
+    """Rules forming a cycle (a -> b, b -> a) terminate: each attribute is
+    validated once and then protected."""
+    master = _master([(1, 2, 3, 4)])
+    rules = [
+        EditingRule(("a",), ("w",), "b", "x", name="ab"),
+        EditingRule(("b",), ("x",), "a", "w", name="ba"),
+    ]
+    out = chase({"a": 1}, ("a",), rules, master)
+    assert out.unique
+    assert out.assignment == {"a": 1, "b": 2}
+
+
+def test_wildcard_only_pattern_equals_empty_pattern():
+    master = _master([(1, 2, 3, 4)])
+    wild = EditingRule(("a",), ("w",), "b", "x",
+                       PatternTuple({"c": ANY}))
+    empty = EditingRule(("a",), ("w",), "b", "x", PatternTuple({}))
+    # The wildcard pattern adds 'c' to the premise, so the region must
+    # include it — after normalization they coincide.
+    assert wild.normalized().premise_attrs == empty.premise_attrs
+
+
+def test_chase_with_zero_rules():
+    master = _master([(1, 2, 3, 4)])
+    out = chase({"a": 1}, ("a",), [], master)
+    assert out.unique
+    assert out.covered == {"a"}
+    assert out.batches == 0
+
+
+def test_chase_with_empty_master():
+    rm = RelationSchema("Rm", [(a, INT) for a in "wxyz"])
+    rule = EditingRule(("a",), ("w",), "b", "x")
+    out = chase({"a": 1}, ("a",), [rule], Relation(rm))
+    assert out.unique
+    assert out.covered == {"a"}

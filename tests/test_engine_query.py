@@ -1,0 +1,73 @@
+"""Relational operators, including the HOSP-style natural join."""
+
+import pytest
+
+from repro.engine.query import equi_join, natural_join, project, rename, select
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+
+
+@pytest.fixture()
+def left():
+    r = Relation(RelationSchema("L", ["id", "name"]))
+    r.insert([1, "a"])
+    r.insert([2, "b"])
+    return r
+
+
+@pytest.fixture()
+def right():
+    r = Relation(RelationSchema("Rt", ["id", "score"]))
+    r.insert([1, 10])
+    r.insert([1, 20])
+    r.insert([3, 30])
+    return r
+
+
+def test_natural_join_on_shared_attr(left, right):
+    joined = natural_join(left, right)
+    assert joined.schema.attributes == ("id", "name", "score")
+    assert sorted(row.values for row in joined) == [(1, "a", 10), (1, "a", 20)]
+
+
+def test_natural_join_without_shared_attrs_raises(left):
+    other = Relation(RelationSchema("O", ["x"]))
+    with pytest.raises(ValueError, match="cross product"):
+        natural_join(left, other)
+
+
+def test_equi_join_with_explicit_pairs(left):
+    other = Relation(RelationSchema("O", ["key", "extra"]))
+    other.insert([2, "yes"])
+    joined = equi_join(left, other, [("id", "key")])
+    assert [row.values for row in joined] == [(2, "b", "yes")]
+
+
+def test_equi_join_duplicate_column_conflict(left):
+    other = Relation(RelationSchema("O", ["key", "name"]))
+    other.insert([1, "clash"])
+    with pytest.raises(ValueError, match="rename"):
+        equi_join(left, other, [("id", "key")])
+
+
+def test_rename_then_join(left):
+    other = Relation(RelationSchema("O", ["key", "name"]))
+    other.insert([1, "clash"])
+    renamed = rename(other, {"name": "other_name"})
+    joined = equi_join(left, renamed, [("id", "key")])
+    assert joined.first()["other_name"] == "clash"
+
+
+def test_select_and_project_operators(left):
+    assert len(select(left, lambda r: r["id"] > 1)) == 1
+    assert project(left, ["name"]).schema.attributes == ("name",)
+
+
+def test_hosp_join_pipeline(hosp):
+    """The three HOSP base tables natural-join to exactly the master data."""
+    joined = natural_join(
+        natural_join(hosp.base_tables["HOSP"], hosp.base_tables["HOSP_MSR_XWLK"]),
+        hosp.base_tables["STATE_MSR_AVG"],
+    )
+    assert len(joined) == len(hosp.master)
+    assert set(hosp.schema.attributes) <= set(joined.schema.attributes)

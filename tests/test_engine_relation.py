@@ -1,0 +1,80 @@
+"""Relations, hash indexes, and index/scan agreement."""
+
+import pytest
+
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+
+
+@pytest.fixture()
+def rel():
+    schema = RelationSchema("R", ["a", "b"])
+    r = Relation(schema)
+    r.insert([1, "x"])
+    r.insert([2, "y"])
+    r.insert([1, "z"])
+    return r
+
+
+def test_len_and_iter(rel):
+    assert len(rel) == 3
+    assert [row["a"] for row in rel] == [1, 2, 1]
+
+
+def test_lookup_uses_index(rel):
+    rows = rel.lookup(["a"], (1,))
+    assert sorted(r["b"] for r in rows) == ["x", "z"]
+
+
+def test_lookup_matches_scan(rel):
+    assert rel.lookup(["a"], (2,)) == rel.scan_lookup(["a"], (2,))
+    assert rel.lookup(["a", "b"], (1, "z")) == rel.scan_lookup(["a", "b"], (1, "z"))
+
+
+def test_index_updated_on_insert(rel):
+    index = rel.index_on(["a"])
+    rel.insert([1, "w"])
+    assert len(index.get((1,))) == 3
+
+
+def test_index_with_repeated_columns(rel):
+    rows = rel.lookup(["a", "a"], (1, 1))
+    assert len(rows) == 2
+    assert rel.lookup(["a", "a"], (1, 2)) == []
+
+
+def test_index_unknown_attribute(rel):
+    with pytest.raises(KeyError):
+        rel.index_on(["missing"])
+
+
+def test_select_project_distinct(rel):
+    selected = rel.select(lambda r: r["a"] == 1)
+    assert len(selected) == 2
+    projected = rel.project(["a"])
+    assert len(projected) == 3
+    assert len(projected.distinct()) == 2
+    assert len(rel.project(["a"], distinct=True)) == 2
+
+
+def test_active_values(rel):
+    assert rel.active_values("a") == {1, 2}
+
+
+def test_insert_row_schema_mismatch(rel):
+    other = RelationSchema("S", ["x", "y"])
+    with pytest.raises(ValueError):
+        rel.insert(Row(other, [1, 2]))
+
+
+def test_from_dicts():
+    schema = RelationSchema("R", ["a", "b"])
+    r = Relation.from_dicts(schema, [{"a": 1, "b": 2}])
+    assert r.first()["b"] == 2
+
+
+def test_first_on_empty_raises():
+    r = Relation(RelationSchema("R", ["a"]))
+    with pytest.raises(LookupError):
+        r.first()

@@ -1,0 +1,97 @@
+"""Schemas and domains."""
+
+import pytest
+
+from repro.engine.schema import (
+    Attribute,
+    Domain,
+    INT,
+    RelationSchema,
+    STRING,
+    finite_domain,
+)
+
+
+def test_infinite_domain_contains_everything():
+    assert INT.contains(42)
+    assert INT.contains("anything")
+    assert not INT.finite
+
+
+def test_finite_domain_membership():
+    d = finite_domain("phone_type", {1, 2})
+    assert d.contains(1)
+    assert d.contains(2)
+    assert not d.contains(3)
+    assert d.finite
+
+
+def test_finite_domain_requires_values():
+    with pytest.raises(ValueError):
+        Domain("bad", finite=True)
+
+
+def test_infinite_domain_rejects_value_enumeration():
+    with pytest.raises(ValueError):
+        Domain("bad", finite=False, values=frozenset({1}))
+
+
+def test_schema_attribute_order_and_lookup():
+    s = RelationSchema("R", ["a", "b", "c"])
+    assert s.attributes == ("a", "b", "c")
+    assert s.index_of("b") == 1
+    assert "c" in s
+    assert "z" not in s
+    assert len(s) == 3
+
+
+def test_schema_rejects_duplicate_attributes():
+    with pytest.raises(ValueError):
+        RelationSchema("R", ["a", "a"])
+
+
+def test_schema_index_of_unknown_attribute_mentions_schema():
+    s = RelationSchema("R", ["a"])
+    with pytest.raises(KeyError, match="R"):
+        s.index_of("missing")
+
+
+def test_schema_accepts_typed_attribute_tuples():
+    s = RelationSchema("R", [("a", INT), ("b", STRING)])
+    assert s.domain_of("a") is INT
+    assert s.domain_of("b") is STRING
+
+
+def test_schema_accepts_attribute_objects():
+    s = RelationSchema("R", [Attribute("a", INT)])
+    assert s.domain_of("a") is INT
+
+
+def test_schema_projection_preserves_order_and_domains():
+    s = RelationSchema("R", [("a", INT), ("b", STRING), ("c", INT)])
+    p = s.project(["c", "a"])
+    assert p.attributes == ("c", "a")
+    assert p.domain_of("c") is INT
+
+
+def test_schema_projection_rejects_unknown_and_duplicates():
+    s = RelationSchema("R", ["a", "b"])
+    with pytest.raises(KeyError):
+        s.project(["z"])
+    with pytest.raises(ValueError):
+        s.project(["a", "a"])
+
+
+def test_schema_rename():
+    s = RelationSchema("R", ["a", "b"])
+    r = s.rename({"a": "x"})
+    assert r.attributes == ("x", "b")
+
+
+def test_schema_equality_and_hash():
+    s1 = RelationSchema("R", [("a", INT)])
+    s2 = RelationSchema("R", [("a", INT)])
+    s3 = RelationSchema("R", [("a", STRING)])
+    assert s1 == s2
+    assert hash(s1) == hash(s2)
+    assert s1 != s3

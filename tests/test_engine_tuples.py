@@ -1,0 +1,87 @@
+"""Rows: the t[X] access notation and immutability-by-derivation."""
+
+import pytest
+
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("R", ["a", "b", "c"])
+
+
+def test_row_from_mapping_and_sequence(schema):
+    r1 = Row(schema, {"a": 1, "b": 2, "c": 3})
+    r2 = Row(schema, [1, 2, 3])
+    assert r1 == r2
+
+
+def test_row_mapping_missing_attribute_raises(schema):
+    with pytest.raises(KeyError, match="'c'"):
+        Row(schema, {"a": 1, "b": 2})
+
+
+def test_row_sequence_arity_checked(schema):
+    with pytest.raises(ValueError):
+        Row(schema, [1, 2])
+
+
+def test_single_and_list_access(schema):
+    r = Row(schema, [1, 2, 3])
+    assert r["b"] == 2
+    assert r[["c", "a"]] == (3, 1)  # the paper's t[X] on a list
+
+
+def test_with_values_returns_new_row(schema):
+    r = Row(schema, [1, 2, 3])
+    r2 = r.with_values({"b": 99})
+    assert r["b"] == 2
+    assert r2["b"] == 99
+    assert r2["a"] == 1
+
+
+def test_project(schema):
+    r = Row(schema, [1, 2, 3])
+    p = r.project(["c", "b"])
+    assert p.values == (3, 2)
+    assert p.schema.attributes == ("c", "b")
+
+
+def test_agrees_with_cross_schema(schema):
+    other_schema = RelationSchema("S", ["x", "y"])
+    r = Row(schema, [1, 2, 3])
+    s = Row(other_schema, [2, 1])
+    assert r.agrees_with(s, ["a", "b"], ["y", "x"])
+    assert not r.agrees_with(s, ["a", "b"], ["x", "y"])
+
+
+def test_diff(schema):
+    r1 = Row(schema, [1, 2, 3])
+    r2 = Row(schema, [1, 9, 3])
+    assert r1.diff(r2) == ("b",)
+
+
+def test_diff_requires_same_attributes(schema):
+    r1 = Row(schema, [1, 2, 3])
+    other = Row(RelationSchema("S", ["x", "y", "z"]), [1, 2, 3])
+    with pytest.raises(ValueError):
+        r1.diff(other)
+
+
+def test_equality_and_hash(schema):
+    r1 = Row(schema, [1, 2, 3])
+    r2 = Row(schema, [1, 2, 3])
+    assert r1 == r2
+    assert hash(r1) == hash(r2)
+    assert len({r1, r2}) == 1
+
+
+def test_to_dict(schema):
+    assert Row(schema, [1, 2, 3]).to_dict() == {"a": 1, "b": 2, "c": 3}
+
+
+def test_rebind(schema):
+    renamed = schema.rename({"a": "x"})
+    r = Row(schema, [1, 2, 3]).rebind(renamed)
+    assert r["x"] == 1

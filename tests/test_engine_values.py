@@ -1,0 +1,44 @@
+"""The NULL / UNKNOWN sentinels."""
+
+import copy
+import pickle
+
+from repro.engine.values import NULL, UNKNOWN, NullType, UnknownType, is_null, is_unknown
+
+
+def test_singletons():
+    assert NullType() is NULL
+    assert UnknownType() is UNKNOWN
+    assert NULL is not UNKNOWN
+
+
+def test_falsiness():
+    assert not NULL
+    assert not UNKNOWN
+
+
+def test_predicates():
+    assert is_null(NULL) and not is_null(UNKNOWN) and not is_null(None)
+    assert is_unknown(UNKNOWN) and not is_unknown(NULL)
+
+
+def test_repr():
+    assert repr(NULL) == "NULL"
+    assert repr(UNKNOWN) == "UNKNOWN"
+
+
+def test_null_is_not_none_or_zero():
+    assert NULL is not None
+    assert NULL != 0
+    assert NULL != ""
+
+
+def test_pickle_roundtrip_preserves_identity():
+    assert pickle.loads(pickle.dumps(NULL)) is NULL
+    assert pickle.loads(pickle.dumps(UNKNOWN)) is UNKNOWN
+
+
+def test_copy_preserves_identity():
+    assert copy.copy(NULL) is NULL
+    assert copy.deepcopy([NULL, UNKNOWN]) == [NULL, UNKNOWN]
+    assert copy.deepcopy([NULL])[0] is NULL

@@ -1,0 +1,99 @@
+"""Experiment drivers: smoke runs at tiny scale, shape assertions."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, load_dataset, load_workload
+from repro.experiments.figures import (
+    ablation_transfix,
+    fig9_interactions,
+    fig10_tuple_recall,
+    fig11_f_measure,
+    table1_region_sizes,
+)
+from repro.experiments.runner import run_stream
+from repro.experiments.tables import format_table
+
+TINY_H = ExperimentConfig(dataset="hosp", master_size=150, input_size=30)
+TINY_D = ExperimentConfig(dataset="dblp", master_size=150, input_size=30)
+
+
+def test_load_dataset_respects_sizes():
+    bundle = load_dataset(TINY_H)
+    assert len(bundle.master) == 150
+    assert load_dataset(TINY_H) is bundle  # memoized
+
+
+def test_load_workload_matches_config():
+    _, data = load_workload(TINY_H.with_(input_size=12))
+    assert len(data) == 12
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ValueError, match="unknown dataset"):
+        load_dataset(ExperimentConfig(dataset="nope"))
+
+
+def test_run_stream_full_correction():
+    bundle, data = load_workload(TINY_H)
+    result = run_stream(bundle, data)
+    metrics = result.final_metrics()
+    assert metrics.recall_t == 1.0
+    assert metrics.precision_a == 1.0
+    assert result.mean_round_latency() > 0.0
+    assert result.round_histogram()
+
+
+def test_metrics_after_round_monotone_recall():
+    bundle, data = load_workload(TINY_H)
+    result = run_stream(bundle, data)
+    recalls = [
+        result.metrics_after_round(k).recall_t
+        for k in range(1, result.max_rounds + 1)
+    ]
+    assert recalls == sorted(recalls)
+    assert recalls[-1] == 1.0
+
+
+def test_table1_shape():
+    headers, rows = table1_region_sizes([TINY_H, TINY_D])
+    table = dict((r[0], r[1:]) for r in rows)
+    assert table["hosp"] == (2, 4)      # the paper's HOSP numbers
+    assert table["dblp"][0] == 5        # the paper's DBLP CompCRegion
+    assert table["dblp"][1] >= table["dblp"][0]
+
+
+def test_fig9_recall_t_tracks_duplicate_rate():
+    headers, rows = fig9_interactions(TINY_H, max_round=4)
+    first_round_recall = rows[0][1]
+    assert first_round_recall == pytest.approx(0.3, abs=0.2)
+    assert rows[-1][1] == 1.0
+
+
+def test_fig10_recall_monotone_in_duplicate_rate():
+    config = TINY_H.with_(input_size=40)
+    headers, rows = fig10_tuple_recall(config, "d%", rounds=(1,))
+    k1 = [row[1] for row in rows]
+    # Not strictly monotone at tiny sizes, but the span must rise.
+    assert k1[-1] > k1[0]
+
+
+def test_fig11_ours_beats_increp_at_high_noise():
+    config = TINY_H.with_(input_size=40)
+    headers, rows = fig11_f_measure(config, "n%", rounds=(4,))
+    high_noise = rows[-1]
+    ours, increp = high_noise[1], high_noise[2]
+    assert ours > increp
+
+
+def test_ablation_reports_three_variants():
+    headers, rows = ablation_transfix(TINY_H)
+    assert len(rows) == 3
+    fixed = {row[2] for row in rows}
+    assert len(fixed) == 1  # all variants fix the same attributes
+
+
+def test_format_table_alignment():
+    text = format_table(("x", "value"), [(1, 0.5), (10, 1.25)], "T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "0.500" in text and "1.250" in text

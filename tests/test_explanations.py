@@ -1,0 +1,47 @@
+"""Provenance explanations on chase and TransFix results."""
+
+from repro.core.fixes import chase
+from repro.repair.transfix import transfix
+
+
+def test_chase_explain_names_rules_and_masters(example):
+    out = chase(
+        example.inputs["t1"], ("zip", "phn", "type"),
+        example.rules, example.master,
+    )
+    text = out.explain()
+    assert "validated by the user: ['phn', 'type', 'zip']" in text
+    assert "FN := 'Robert' via phi4" in text
+    assert "AC := '131' via phi1" in text
+    assert "'zip': 'EH7 4AH'" in text  # the master match key is shown
+
+
+def test_chase_explain_flags_divergence(example):
+    out = chase(
+        example.inputs["t3"], example.regions["ZAHZ"].attrs,
+        example.rules, example.master,
+    )
+    assert "DIVERGENT" in out.explain()
+
+
+def test_chase_explain_no_rules(example):
+    out = chase(
+        example.inputs["t4"], ("zip",), example.rules, example.master
+    )
+    assert "no rule applied" in out.explain()
+
+
+def test_transfix_explain(example):
+    result = transfix(
+        example.inputs["t1"], {"zip"}, example.rules, example.master
+    )
+    text = result.explain()
+    assert "AC := '131' via phi1" in text
+    assert "str := '51 Elm Row' via phi2" in text
+
+
+def test_transfix_explain_empty(example):
+    result = transfix(
+        example.inputs["t4"], {"zip"}, example.rules, example.master
+    )
+    assert result.explain() == "no rule applied"

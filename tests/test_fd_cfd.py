@@ -1,0 +1,102 @@
+"""FDs and CFDs: structure, violation detection, compilation from rules."""
+
+import pytest
+
+from repro.constraints.cfd import CFD, cfds_from_rules, tuple_violations
+from repro.constraints.fd import FD, all_hold
+from repro.core.patterns import ANY, PatternTuple
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("R", ["AC", "city", "phn"])
+
+
+@pytest.fixture()
+def relation(schema):
+    r = Relation(schema)
+    r.insert(["020", "Ldn", "1"])
+    r.insert(["020", "Edi", "2"])   # violates AC -> city
+    r.insert(["131", "Edi", "3"])
+    return r
+
+
+def test_fd_violations(relation):
+    fd = FD("AC", "city")
+    violations = fd.violations(relation)
+    assert len(violations) == 1
+    assert not fd.holds(relation)
+    assert FD("phn", ("AC", "city")).holds(relation)
+
+
+def test_fd_requires_attrs():
+    with pytest.raises(ValueError):
+        FD((), "city")
+
+
+def test_all_hold(relation):
+    assert all_hold([FD("phn", "city")], relation)
+    assert not all_hold([FD("phn", "city"), FD("AC", "city")], relation)
+
+
+def test_constant_cfd_single_tuple_violation(schema):
+    """Example 1: AC = 020 -> city = Ldn."""
+    cfd = CFD("AC", "city", PatternTuple({"AC": "020", "city": "Ldn"}))
+    assert cfd.is_constant
+    t1 = Row(schema, ["020", "Edi", "x"])  # the paper's inconsistent t1
+    assert cfd.single_tuple_violation(t1)
+    assert not cfd.single_tuple_violation(Row(schema, ["020", "Ldn", "x"]))
+    assert not cfd.single_tuple_violation(Row(schema, ["131", "Edi", "x"]))
+
+
+def test_variable_cfd_pair_violation(schema):
+    cfd = CFD("AC", "city", PatternTuple({"AC": ANY, "city": ANY}))
+    assert not cfd.is_constant
+    r1 = Row(schema, ["020", "Ldn", "1"])
+    r2 = Row(schema, ["020", "Edi", "2"])
+    assert cfd.pair_violation(r1, r2)
+    assert not cfd.pair_violation(r1, r1)
+
+
+def test_cfd_violations_over_relation(relation):
+    constant = CFD("AC", "city", PatternTuple({"AC": "020", "city": "Ldn"}))
+    variable = CFD("AC", "city", PatternTuple({"AC": ANY, "city": ANY}))
+    assert len(constant.violations(relation)) == 1
+    assert len(variable.violations(relation)) == 1
+
+
+def test_cfd_structure_validation():
+    with pytest.raises(ValueError, match="must not occur"):
+        CFD("a", "a", PatternTuple({"a": 1}))
+    with pytest.raises(ValueError, match="missing"):
+        CFD("a", "b", PatternTuple({"a": 1}))
+
+
+def test_tuple_violations_helper(schema):
+    cfds = [
+        CFD("AC", "city", PatternTuple({"AC": "020", "city": "Ldn"})),
+        CFD("AC", "city", PatternTuple({"AC": "131", "city": "Edi"})),
+    ]
+    t = Row(schema, ["020", "Edi", "x"])
+    assert len(tuple_violations(t, cfds)) == 1
+
+
+def test_cfds_from_rules_compile_master_evidence(example):
+    cfds = cfds_from_rules(example.rules[:1], example.master)
+    # One constant CFD per (rule, master tuple): zip -> AC.
+    assert len(cfds) == 2
+    assert all(c.is_constant for c in cfds)
+    t1 = example.inputs["t1"]  # zip EH7 4AH but AC 020: violation
+    assert len(tuple_violations(t1, cfds)) == 1
+
+
+def test_cfds_from_rules_respects_cap_and_dedup(example):
+    cfds = cfds_from_rules(example.rules, example.master, max_per_rule=1)
+    per_rule: dict = {}
+    for c in cfds:
+        base = c.name.split("@")[0]
+        per_rule[base] = per_rule.get(base, 0) + 1
+    assert all(count == 1 for count in per_rule.values())

@@ -1,0 +1,269 @@
+"""The fix chase: region-constrained application, fixpoints, confluence."""
+
+import pytest
+
+from repro.core.fixes import (
+    applicable_pairs,
+    chase,
+    fix_sequence,
+    is_fixpoint,
+    region_apply,
+)
+from repro.core.patterns import PatternTuple
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+from repro.engine.tuples import Row
+from repro.engine.values import UNKNOWN
+
+
+def _setup(master_rows, rules_spec):
+    """Small harness: R(a,b,c,d), Rm(w,x,y,z)."""
+    r = RelationSchema("R", [(a, INT) for a in "abcd"])
+    rm = RelationSchema("Rm", [(a, INT) for a in "wxyz"])
+    master = Relation(rm)
+    for row in master_rows:
+        master.insert(row)
+    rules = [
+        EditingRule(lhs, lhs_m, rhs, rhs_m, PatternTuple(pattern or {}),
+                    name=f"r{i}")
+        for i, (lhs, lhs_m, rhs, rhs_m, pattern) in enumerate(rules_spec)
+    ]
+    return r, master, rules
+
+
+def test_single_step_region_apply():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)], [(("a",), ("w",), "b", "x", None)]
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    t = Row(r, [1, 0, 0, 0])
+    fixed, extended = region_apply(t, region, rules[0], master.first())
+    assert fixed["b"] == 2
+    assert extended.attrs == ("a", "b")
+
+
+def test_region_apply_enforces_side_conditions():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", None), (("c",), ("y",), "d", "z", None)],
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    t = Row(r, [1, 0, 3, 0])
+    with pytest.raises(ValueError, match="not contained in Z"):
+        region_apply(t, region, rules[1], master.first())
+    not_marked = Row(r, [2, 0, 0, 0])
+    with pytest.raises(ValueError, match="not marked"):
+        region_apply(not_marked, region, rules[0], master.first())
+
+
+def test_region_apply_protects_validated_targets():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)], [(("a",), ("w",), "b", "x", None)]
+    )
+    region = Region.from_patterns(("a", "b"), [{"a": 1, "b": 0}])
+    t = Row(r, [1, 0, 0, 0])
+    with pytest.raises(ValueError, match="protected"):
+        region_apply(t, region, rules[0], master.first())
+
+
+def test_fix_sequence_chains_extensions():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+        ],
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    t = Row(r, [1, 0, 0, 0])
+    fixed, final_region = fix_sequence(
+        t, region, [(rules[0], master.first()), (rules[1], master.first())]
+    )
+    assert fixed["b"] == 2 and fixed["c"] == 3
+    assert final_region.attrs == ("a", "b", "c")
+
+
+def test_chase_simple_chain_is_unique_and_covers():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+            (("c",), ("y",), "d", "z", None),
+        ],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    assert out.unique
+    assert out.assignment == {"a": 1, "b": 2, "c": 3, "d": 4}
+    assert out.covered == {"a", "b", "c", "d"}
+    assert out.is_certain(r)
+
+
+def test_chase_same_batch_conflict():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    assert not out.unique
+    assert out.conflict.kind == "same-batch"
+    assert out.conflict.attr == "b"
+    assert set(out.conflict.values) == {2, 9}
+
+
+def test_chase_order_dependent_conflict():
+    """Two rules targeting b, enabled at different times, different values."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),   # b := 2, enabled at once
+            (("a",), ("w",), "c", "y", None),   # c := 3
+            (("c",), ("y",), "b", "z", None),   # b := 4, enabled after c
+        ],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    assert not out.unique
+    assert out.conflict.kind == "order-dependent"
+    assert out.conflict.attr == "b"
+
+
+def test_chase_chain_through_target_is_not_a_conflict():
+    """A late rule whose premise is only derivable THROUGH its own target
+    can never fire first: unique fix (DESIGN.md §4.1's exactness case)."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),   # b := 2
+            (("b",), ("x",), "c", "y", None),   # c := 3  (needs b)
+            (("c",), ("y",), "b", "z", None),   # b := 4  (needs c, via b!)
+        ],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    assert out.unique
+    assert out.assignment["b"] == 2
+
+
+def test_chase_long_alternative_derivation_is_found():
+    """An alternative premise derivation that avoids the target, discovered
+    only late in the batching, must still be flagged (exactness on chains)."""
+    r, master, rules = _setup(
+        # w x y z = 1 2 3 4
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),   # b := 2 (immediately)
+            (("b",), ("x",), "c", "y", None),   # c := 3 via b
+            (("a",), ("w",), "d", "z", None),   # d := 4 (immediately)
+            (("d",), ("z",), "c", "y", None),   # c := 3 via d (same value)
+            (("c",), ("y",), "b", "w", None),   # b := 1 CONFLICT, premise c
+        ],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    # c is derivable via d without touching b, so rule 4 can fire before b
+    # is set in some order: two distinct fixes.
+    assert not out.unique
+    assert out.conflict.attr == "b"
+
+
+def test_chase_same_value_rules_do_not_conflict():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("a",), ("w",), "b", "x", None),  # duplicate, same value
+        ],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    assert out.unique
+    assert out.assignment["b"] == 2
+
+
+def test_chase_zb_targets_are_protected():
+    """A rule targeting a user-validated attribute never applies."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    out = chase({"a": 1, "b": 99}, ("a", "b"), rules, master)
+    assert out.unique
+    assert out.assignment["b"] == 99  # protected, not overwritten
+
+
+def test_chase_pattern_gates_application():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", {"a": 7})],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    assert out.unique
+    assert out.assignment["b"] is UNKNOWN
+    assert out.covered == {"a"}
+
+
+def test_chase_no_master_match_is_a_fixpoint():
+    r, master, rules = _setup(
+        [(5, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    assert out.unique
+    assert out.covered == {"a"}
+    assert not out.is_certain(r)
+    assert out.uncovered(r) == ("b", "c", "d")
+
+
+def test_chase_fired_trace_records_batches():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+        ],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    assert [(rule.name, batch) for rule, _, batch in out.fired] == [
+        ("r0", 1), ("r1", 2)
+    ]
+    assert out.batches == 2
+
+
+def test_applicable_pairs_respects_region_semantics():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("c",), ("y",), "d", "z", None),  # premise not validated
+        ],
+    )
+    assignment = {"a": 1, "b": UNKNOWN, "c": 3, "d": UNKNOWN}
+    pairs = list(applicable_pairs(assignment, frozenset({"a"}), rules, master))
+    assert [rule.name for rule, _ in pairs] == ["r0"]
+
+
+def test_is_fixpoint_counts_same_value_pairs_as_applicable():
+    """Maximality: an applicable same-value pair still extends Z, so a state
+    with one is NOT a fixpoint (Sect. 3, condition (2))."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    t = Row(r, [1, 2, 0, 0])  # b already equals the master value
+    assert not is_fixpoint(t, region, rules, master)
+    done = Region.from_patterns(("a", "b"), [{"a": 1, "b": 2}])
+    assert is_fixpoint(t, done, rules, master)
+
+
+def test_chase_final_row_materialization():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+            (("c",), ("y",), "d", "z", None),
+        ],
+    )
+    out = chase({"a": 1}, ("a",), rules, master)
+    row = out.final_row(r)
+    assert row.values == (1, 2, 3, 4)

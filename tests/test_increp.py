@@ -1,0 +1,106 @@
+"""The IncRep baseline: repairs, cost ordering, and its failure modes."""
+
+import pytest
+
+from repro.constraints.increp import IncRep
+from repro.datasets import make_dirty_dataset
+from repro.engine.values import NULL
+from repro.metrics import aggregate, evaluate_repair
+
+
+@pytest.fixture(scope="module")
+def increp(hosp):
+    return IncRep(hosp.rules, hosp.master, hosp.schema)
+
+
+def test_clean_master_tuple_untouched(hosp, increp):
+    clean = hosp.master.first()
+    result = increp.repair(clean)
+    assert result.row == clean
+    assert not result.changed
+
+
+def test_single_dirty_target_repaired(hosp, increp):
+    clean = hosp.master.first()
+    dirty = clean.with_values({"hName": "Wrong Name"})
+    result = increp.repair(dirty)
+    assert result.row["hName"] == clean["hName"]
+    assert result.changed_attrs == {"hName"}
+
+
+def test_null_enrichment_is_free_and_applied(hosp, increp):
+    clean = hosp.master.first()
+    dirty = clean.with_values({"zip": NULL, "city": NULL})
+    result = increp.repair(dirty)
+    assert result.row["zip"] == clean["zip"]
+    assert result.row["city"] == clean["city"]
+
+
+def test_near_match_fixes_dirty_key_side(hosp, increp):
+    """(mCode, ST) -> sAvg with a dirty sAvg AND (zip, ST) near matches."""
+    clean = hosp.master.first()
+    dirty = clean.with_values({"ST": "??"})
+    result = increp.repair(dirty)
+    assert result.row["ST"] == clean["ST"]
+
+
+def test_entity_mixup_produces_wrong_repairs(hosp, increp):
+    """A swapped phone drags the repair toward the wrong hospital for some
+    attributes - the no-certainty failure mode the paper criticizes."""
+    rows = hosp.master.rows
+    clean = rows[0]
+    other = next(
+        r for r in rows[1:] if r["id"] != clean["id"]
+    )
+    dirty = clean.with_values({"phn": other["phn"]})
+    result = increp.repair(dirty)
+    # IncRep resolves the id/phn disagreement *somehow*; whichever side it
+    # picks, it modified an attribute it cannot certify.
+    assert result.changed
+
+
+def test_repair_terminates_within_schema_bound(hosp, increp):
+    data = make_dirty_dataset(hosp, size=15, duplicate_rate=0.5,
+                              noise_rate=0.5, seed=9)
+    for dt in data:
+        result = increp.repair(dt.dirty)
+        assert result.iterations <= len(hosp.schema) + 1
+
+
+def test_precision_below_one_under_noise(hosp, increp):
+    data = make_dirty_dataset(hosp, size=60, duplicate_rate=0.3,
+                              noise_rate=0.3, seed=10)
+    evals = [
+        evaluate_repair(dt.dirty, dt.clean, increp.repair(dt.dirty).row, ())
+        for dt in data
+    ]
+    m = aggregate(evals)
+    assert m.wrong_attrs > 0
+    assert m.precision_a < 1.0
+    assert m.recall_a > 0.1
+
+
+def test_f_measure_degrades_with_noise(hosp, increp):
+    """Fig. 11(c)'s shape: IncRep F at heavy noise is below light noise."""
+    def f_at(noise):
+        data = make_dirty_dataset(hosp, size=80, duplicate_rate=0.3,
+                                  noise_rate=noise, seed=11)
+        evals = [
+            evaluate_repair(dt.dirty, dt.clean,
+                            increp.repair(dt.dirty).row, ())
+            for dt in data
+        ]
+        return aggregate(evals).f_measure
+
+    assert f_at(0.5) < f_at(0.1)
+
+
+def test_weights_steer_resolution(hosp):
+    """An expensive attribute is repaired only if no cheaper candidate."""
+    heavy = IncRep(hosp.rules, hosp.master, hosp.schema,
+                   weights={"hName": 100.0})
+    clean = hosp.master.first()
+    dirty = clean.with_values({"hName": "Wrong"})
+    result = heavy.repair(dirty)
+    # Still repaired (it is the only violation), just at higher cost.
+    assert result.row["hName"] == clean["hName"]

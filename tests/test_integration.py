@@ -1,0 +1,136 @@
+"""Cross-module integration tests: the full pipeline on both datasets."""
+
+import pytest
+
+from repro.analysis.coverage import is_certain_region
+from repro.core.fixes import chase
+from repro.datasets import make_dirty_dataset
+from repro.engine.values import NULL
+from repro.metrics import aggregate, evaluate_repair
+from repro.repair.certainfix import CertainFix
+from repro.repair.oracle import SimulatedUser
+from repro.repair.region_search import comp_c_region
+from repro.repair.transfix import transfix
+
+
+@pytest.mark.parametrize("bundle_name", ["hosp", "dblp"])
+def test_full_pipeline_precision_one(bundle_name, request):
+    """dataset → dirty stream → regions → monitoring → metrics."""
+    bundle = request.getfixturevalue(bundle_name)
+    data = make_dirty_dataset(bundle, size=30, duplicate_rate=0.4,
+                              noise_rate=0.25, seed=17)
+    engine = CertainFix(bundle.rules, bundle.master, bundle.schema)
+    evaluations = []
+    for dt in data:
+        session = engine.fix(dt.dirty, SimulatedUser(dt.clean))
+        assert session.completed
+        evaluations.append(
+            evaluate_repair(dt.dirty, dt.clean, session.final,
+                            session.attrs_asserted_by_user)
+        )
+    metrics = aggregate(evaluations)
+    assert metrics.recall_t == 1.0
+    assert metrics.precision_a == 1.0
+    assert metrics.wrong_attrs == 0
+
+
+@pytest.mark.parametrize("bundle_name", ["hosp", "dblp"])
+def test_transfix_agrees_with_chase(bundle_name, request):
+    """The Fig. 5 worklist and the batched chase assign identical values."""
+    bundle = request.getfixturevalue(bundle_name)
+    regions = comp_c_region(bundle.rules, bundle.master, bundle.schema)
+    z0 = regions[0].region.attrs
+    data = make_dirty_dataset(bundle, size=20, duplicate_rate=0.7,
+                              noise_rate=0.2, seed=18)
+    for dt in data:
+        # Assert Z with clean values, as CertainFix round 1 would.
+        row = dt.dirty.with_values({a: dt.clean[a] for a in z0})
+        chased = chase(row, z0, bundle.rules, bundle.master)
+        if not chased.unique:
+            continue
+        fixed = transfix(row, z0, bundle.rules, bundle.master)
+        assert set(fixed.validated) == set(chased.covered)
+        for attr in fixed.validated:
+            assert fixed.row[attr] == chased.assignment[attr]
+
+
+def test_master_projection_regions_are_certain_end_to_end(hosp):
+    """Every region CompCRegion hands to CertainFix passes the formal
+    coverage checker — the paper's soundness chain."""
+    regions = comp_c_region(hosp.rules, hosp.master, hosp.schema,
+                            max_regions=2, validate_patterns=16)
+    for candidate in regions:
+        sample = candidate.region.restrict_tableau(
+            candidate.region.tableau.patterns[:3]
+        )
+        assert is_certain_region(hosp.rules, hosp.master, sample, hosp.schema)
+
+
+def test_monitoring_enriches_null_heavy_tuples(hosp):
+    """A tuple arriving with only the region attributes filled is completed
+    entirely from master data (the paper's enrichment use case)."""
+    source = hosp.master.first()
+    sparse = source.with_values({
+        a: NULL for a in hosp.schema.attributes if a not in ("id", "mCode")
+    })
+    engine = CertainFix(hosp.rules, hosp.master, hosp.schema)
+    session = engine.fix(sparse, SimulatedUser(source))
+    assert session.round_count == 1
+    assert session.final == source
+    # Everything but the two asserted attributes came from master data.
+    assert len(session.attrs_fixed_by_rules) == len(hosp.schema) - 2
+
+
+def test_bdd_cache_reuse_across_heterogeneous_tuples(dblp):
+    """The cache must help streams mixing master / known-venue / fresh
+    tuples without ever changing outcomes."""
+    data = make_dirty_dataset(dblp, size=40, duplicate_rate=0.3,
+                              noise_rate=0.25, seed=19)
+    plain = CertainFix(dblp.rules, dblp.master, dblp.schema, use_bdd=False)
+    cached = CertainFix(dblp.rules, dblp.master, dblp.schema, use_bdd=True)
+    for dt in data:
+        s_plain = plain.fix(dt.dirty, SimulatedUser(dt.clean))
+        s_cached = cached.fix(dt.dirty, SimulatedUser(dt.clean))
+        assert s_plain.final == s_cached.final == dt.clean
+    assert cached.cache_stats.hit_rate > 0.5
+
+
+def test_discovered_rules_monitor_end_to_end(hosp):
+    """Mined rules power the same monitoring loop as hand-written ones."""
+    from repro.discovery import discover_editing_rules, rules_only
+
+    mined = rules_only(discover_editing_rules(hosp.master, max_lhs_size=2))
+    engine = CertainFix(mined, hosp.master, hosp.schema)
+    data = make_dirty_dataset(hosp, size=10, duplicate_rate=1.0,
+                              noise_rate=0.2, seed=20)
+    for dt in data:
+        session = engine.fix(dt.dirty, SimulatedUser(dt.clean))
+        assert session.final == dt.clean
+
+
+def test_database_repair_then_monitoring_leftovers(hosp):
+    """Batch-repair a relation, then monitor what batch repair could not
+    certify — the two modes compose."""
+    from repro.engine.relation import Relation
+    from repro.repair.database_repair import repair_database
+
+    data = make_dirty_dataset(
+        hosp, size=30, duplicate_rate=0.5, noise_rate=0.25, seed=22,
+        noise_attrs=tuple(a for a in hosp.schema.attributes
+                          if a not in ("id", "mCode")),
+    )
+    relation = Relation(hosp.schema)
+    for dt in data:
+        relation.insert(dt.dirty)
+    repaired, report = repair_database(
+        relation, hosp.rules, hosp.master, hosp.schema
+    )
+    engine = CertainFix(hosp.rules, hosp.master, hosp.schema)
+    for row, dt, (fixed_row, _, status) in zip(
+        repaired, data, report.per_tuple
+    ):
+        if status != "certain":
+            session = engine.fix(row, SimulatedUser(dt.clean))
+            assert session.final == dt.clean
+        else:
+            assert row == dt.clean

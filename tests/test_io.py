@@ -1,0 +1,84 @@
+"""Serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.patterns import ANY, Const, NotConst, PatternTuple
+from repro.core.regions import Region
+from repro.engine.values import NULL
+from repro.io import (
+    dumps,
+    loads,
+    pattern_tuple_from_dict,
+    pattern_tuple_to_dict,
+    pattern_value_from_dict,
+    pattern_value_to_dict,
+    region_from_dict,
+    region_to_dict,
+    rule_from_dict,
+    rule_to_dict,
+)
+
+
+@pytest.mark.parametrize("condition", [
+    ANY, Const(5), Const("text"), NotConst("0800"), Const(NULL), NotConst(NULL),
+])
+def test_pattern_value_roundtrip(condition):
+    assert pattern_value_from_dict(pattern_value_to_dict(condition)) == condition
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown pattern value kind"):
+        pattern_value_from_dict({"kind": "fuzzy"})
+
+
+def test_pattern_tuple_roundtrip_preserves_order():
+    tp = PatternTuple({"b": 1, "a": NotConst(2), "c": ANY})
+    back = pattern_tuple_from_dict(pattern_tuple_to_dict(tp))
+    assert back == tp
+    assert back.attrs == tp.attrs
+
+
+def test_rule_roundtrip(example):
+    for rule in example.rules:
+        back = rule_from_dict(rule_to_dict(rule))
+        assert back == rule
+        assert back.name == rule.name
+
+
+def test_rule_roundtrip_with_master_guard():
+    from repro.core.rules import EditingRule
+    from repro.engine.multi import guard_for
+
+    rule = EditingRule("a", "am", "b", "bm",
+                       PatternTuple({"a": NotConst(NULL)}),
+                       master_guard=guard_for("persons"))
+    back = rule_from_dict(rule_to_dict(rule))
+    assert back == rule
+    assert back.master_guard == rule.master_guard
+
+
+def test_region_roundtrip(example):
+    region = example.regions["Zzmi"]
+    back = region_from_dict(region_to_dict(region))
+    assert back == region
+
+
+def test_json_document_roundtrip(example):
+    text = dumps(example.rules)
+    json.loads(text)  # valid JSON
+    back = loads(text)
+    assert back == example.rules
+
+
+def test_hosp_rules_roundtrip_through_json(hosp):
+    assert loads(dumps(hosp.rules)) == hosp.rules
+
+
+def test_null_values_survive_json(hosp):
+    """The ≠ NULL guards must survive a JSON round trip as the sentinel."""
+    back = loads(dumps(hosp.rules))
+    for rule in back:
+        for attr in rule.lhs:
+            assert rule.pattern[attr].value is NULL

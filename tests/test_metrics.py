@@ -1,0 +1,97 @@
+"""Evaluation metrics (recall_t, recall_a, precision, F-measure)."""
+
+import pytest
+
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+from repro.metrics import AggregateMetrics, aggregate, evaluate_repair
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("R", ["a", "b", "c", "d"])
+
+
+def test_evaluate_clean_tuple(schema):
+    clean = Row(schema, [1, 2, 3, 4])
+    e = evaluate_repair(clean, clean, clean)
+    assert not e.was_erroneous
+    assert e.fully_corrected
+
+
+def test_algorithm_corrections_counted(schema):
+    clean = Row(schema, [1, 2, 3, 4])
+    dirty = Row(schema, [1, 9, 9, 4])
+    final = Row(schema, [1, 2, 3, 4])
+    e = evaluate_repair(dirty, clean, final)
+    assert e.erroneous == {"b", "c"}
+    assert e.corrected_by_algorithm == {"b", "c"}
+    assert e.fully_corrected
+
+
+def test_user_corrections_excluded_from_algorithm_credit(schema):
+    clean = Row(schema, [1, 2, 3, 4])
+    dirty = Row(schema, [1, 9, 9, 4])
+    final = Row(schema, [1, 2, 3, 4])
+    e = evaluate_repair(dirty, clean, final, user_asserted={"b"})
+    assert e.corrected_by_algorithm == {"c"}
+    assert e.corrected_by_user == {"b"}
+    assert e.changed_by_algorithm == {"c"}
+
+
+def test_wrong_changes_tracked(schema):
+    clean = Row(schema, [1, 2, 3, 4])
+    dirty = Row(schema, [1, 9, 3, 4])
+    final = Row(schema, [1, 7, 3, 8])  # b mis-repaired, d broken
+    e = evaluate_repair(dirty, clean, final)
+    assert e.wrong_changes == {"b", "d"}
+    assert not e.fully_corrected
+
+
+def test_aggregate_recall_and_precision(schema):
+    clean = Row(schema, [1, 2, 3, 4])
+    evals = [
+        evaluate_repair(Row(schema, [1, 9, 3, 4]), clean,
+                        Row(schema, [1, 2, 3, 4])),          # corrected
+        evaluate_repair(Row(schema, [1, 9, 9, 4]), clean,
+                        Row(schema, [1, 2, 9, 4])),          # half corrected
+        evaluate_repair(clean, clean, clean),                # never dirty
+    ]
+    m = aggregate(evals)
+    assert m.tuples == 3
+    assert m.erroneous_tuples == 2
+    assert m.corrected_tuples == 1
+    assert m.recall_t == 0.5
+    assert m.erroneous_attrs == 3
+    assert m.corrected_attrs == 2
+    assert m.recall_a == pytest.approx(2 / 3)
+    assert m.precision_a == 1.0
+    assert m.f_measure == pytest.approx(2 * (2 / 3) / (1 + 2 / 3))
+
+
+def test_aggregate_degenerate_cases():
+    m = AggregateMetrics()
+    assert m.recall_t == 1.0
+    assert m.recall_a == 1.0
+    assert m.precision_a == 1.0
+    assert m.f_measure == 1.0
+
+
+def test_zero_f_measure():
+    m = AggregateMetrics(erroneous_attrs=5, changed_attrs=5,
+                         corrected_attrs=0)
+    assert m.f_measure == 0.0
+
+
+def test_merge():
+    m1 = AggregateMetrics(erroneous_tuples=1, corrected_tuples=1,
+                          erroneous_attrs=2, corrected_attrs=2,
+                          changed_attrs=2, tuples=1)
+    m2 = AggregateMetrics(erroneous_tuples=1, corrected_tuples=0,
+                          erroneous_attrs=2, corrected_attrs=0,
+                          changed_attrs=1, wrong_attrs=1, tuples=1)
+    merged = m1.merge(m2)
+    assert merged.recall_t == 0.5
+    assert merged.recall_a == 0.5
+    assert merged.tuples == 2
+    assert merged.wrong_attrs == 1

@@ -1,0 +1,159 @@
+"""Multiple master relations via the tagged single-schema encoding
+(Sect. 2, remark (3)) and master-side rule guards."""
+
+import pytest
+
+from repro.core.fixes import chase
+from repro.core.patterns import PatternTuple
+from repro.core.rules import EditingRule
+from repro.engine.multi import (
+    SOURCE_ID,
+    combine_masters,
+    guard_for,
+    select_source,
+    split_rules_by_source,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema, STRING
+from repro.engine.values import NULL
+from repro.repair.transfix import transfix
+
+
+@pytest.fixture()
+def sources():
+    """Two master relations sharing a key column with DIFFERENT semantics:
+    persons keyed by code -> city of residence; branches keyed by code ->
+    city of the branch.  Combining them without guards would conflict."""
+    persons = Relation(RelationSchema("persons", ["code", "city"]))
+    persons.insert(["A1", "Edinburgh"])
+    persons.insert(["B2", "London"])
+    branches = Relation(RelationSchema("branches", ["code", "city"]))
+    branches.insert(["A1", "Glasgow"])   # same code, different city!
+    return {"persons": persons, "branches": branches}
+
+
+@pytest.fixture()
+def combined(sources):
+    return combine_masters(sources)
+
+
+def test_combined_schema_and_rows(combined, sources):
+    assert SOURCE_ID in combined.schema
+    assert len(combined) == 3
+    assert {row[SOURCE_ID] for row in combined} == {"persons", "branches"}
+
+
+def test_select_source_recovers_instances(combined, sources):
+    rows = select_source(combined, "persons")
+    assert len(rows) == len(sources["persons"])
+    assert {r["city"] for r in rows} == {"Edinburgh", "London"}
+
+
+def test_missing_attributes_become_null():
+    left = Relation(RelationSchema("L", ["k", "only_left"]))
+    left.insert([1, "x"])
+    right = Relation(RelationSchema("Rr", ["k", "only_right"]))
+    right.insert([2, "y"])
+    combined = combine_masters({"l": left, "r": right})
+    by_source = {row[SOURCE_ID]: row for row in combined}
+    assert by_source["l"]["only_right"] is NULL
+    assert by_source["r"]["only_left"] is NULL
+
+
+def test_conflicting_domains_rejected():
+    from repro.engine.schema import INT
+
+    a = Relation(RelationSchema("A", [("k", INT)]))
+    b = Relation(RelationSchema("B", [("k", STRING)]))
+    with pytest.raises(ValueError, match="conflicting domains"):
+        combine_masters({"a": a, "b": b})
+
+
+def test_source_column_collision_rejected():
+    a = Relation(RelationSchema("A", [SOURCE_ID, "k"]))
+    with pytest.raises(ValueError, match="already has"):
+        combine_masters({"a": a})
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError, match="at least one"):
+        combine_masters({})
+
+
+def test_unguarded_rule_sees_cross_source_conflict(combined):
+    """Without a guard, code A1 matches both sources -> conflicting fix."""
+    schema = RelationSchema("R", ["code", "city"])
+    rule = EditingRule("code", "code", "city", "city")
+    out = chase({"code": "A1"}, ("code",), [rule], combined)
+    assert not out.unique
+    assert out.conflict.attr == "city"
+
+
+def test_guarded_rule_uses_only_its_source(combined):
+    schema = RelationSchema("R", ["code", "city"])
+    person_rule = EditingRule(
+        "code", "code", "city", "city",
+        master_guard=guard_for("persons"), name="person-city",
+    )
+    out = chase({"code": "A1"}, ("code",), [person_rule], combined)
+    assert out.unique
+    assert out.assignment["city"] == "Edinburgh"
+
+    branch_rule = person_rule.with_pattern(PatternTuple({}))
+    branch_rule = EditingRule(
+        "code", "code", "city", "city",
+        master_guard=guard_for("branches"), name="branch-city",
+    )
+    out2 = chase({"code": "A1"}, ("code",), [branch_rule], combined)
+    assert out2.assignment["city"] == "Glasgow"
+
+
+def test_guarded_transfix(combined):
+    schema = RelationSchema("R", ["code", "city"])
+    from repro.engine.tuples import Row
+
+    rule = EditingRule(
+        "code", "code", "city", "city",
+        master_guard=guard_for("persons"),
+    )
+    t = Row(schema, ["A1", NULL])
+    result = transfix(t, {"code"}, [rule], combined)
+    assert result.row["city"] == "Edinburgh"
+
+
+def test_guard_survives_normalization_and_refinement():
+    rule = EditingRule(
+        "code", "code", "city", "city",
+        pattern=PatternTuple({"code": "A1"}),
+        master_guard=guard_for("persons"),
+    )
+    assert rule.normalized().master_guard == guard_for("persons")
+    refined = rule.with_pattern(PatternTuple({"code": "B2"}))
+    assert refined.master_guard == guard_for("persons")
+
+
+def test_guard_rendered_into_sql():
+    from repro.engine.sql import render_q_phi
+
+    rule = EditingRule(
+        "code", "code", "city", "city",
+        master_guard=guard_for("persons"),
+    )
+    sql = render_q_phi(rule, PatternTuple({"code": "A1"}), "Dm")
+    assert f"Dm.{SOURCE_ID} = 'persons'" in sql
+
+
+def test_split_rules_by_source():
+    r1 = EditingRule("a", "a", "b", "b", master_guard=guard_for("x"))
+    r2 = EditingRule("a", "a", "c", "c", master_guard=guard_for("y"))
+    r3 = EditingRule("a", "a", "d", "d")
+    groups = split_rules_by_source([r1, r2, r3])
+    assert set(groups) == {"x", "y", None}
+    assert groups["x"] == [r1]
+
+
+def test_guard_affects_equality():
+    base = EditingRule("a", "a", "b", "b")
+    guarded = EditingRule("a", "a", "b", "b", master_guard=guard_for("x"))
+    assert base != guarded
+    assert hash(base) != hash(guarded)

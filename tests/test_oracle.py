@@ -1,0 +1,71 @@
+"""User oracles."""
+
+import pytest
+
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+from repro.repair.oracle import LyingUser, ScriptedUser, SimulatedUser
+
+
+@pytest.fixture()
+def rows():
+    schema = RelationSchema("R", ["a", "b", "c"])
+    clean = Row(schema, [1, 2, 3])
+    dirty = Row(schema, [1, 9, 9])
+    return clean, dirty
+
+
+def test_simulated_user_returns_clean_values(rows):
+    clean, dirty = rows
+    user = SimulatedUser(clean)
+    values = user.assert_correct(dirty, ("b", "c"))
+    assert values == {"b": 2, "c": 3}
+    assert user.corrected == {"b", "c"}
+    assert user.asserted == {"b", "c"}
+
+
+def test_simulated_user_tracks_only_real_corrections(rows):
+    clean, dirty = rows
+    user = SimulatedUser(clean)
+    user.assert_correct(dirty, ("a",))
+    assert user.asserted == {"a"}
+    assert user.corrected == set()  # a was already right
+
+
+def test_simulated_user_revise_is_truthful(rows):
+    clean, dirty = rows
+    user = SimulatedUser(clean)
+    assert user.revise(dirty, ("b",), "conflict") == {"b": 2}
+
+
+def test_scripted_user_replays(rows):
+    clean, dirty = rows
+    user = ScriptedUser([{"b": 5}, {"c": 6}])
+    assert user.assert_correct(dirty, ("b",)) == {"b": 5}
+    assert user.assert_correct(dirty, ("c",)) == {"c": 6}
+    with pytest.raises(RuntimeError, match="ran out"):
+        user.assert_correct(dirty, ("a",))
+
+
+def test_scripted_user_skips_unknown_attrs(rows):
+    clean, dirty = rows
+    user = ScriptedUser([{"b": 5}])
+    assert user.assert_correct(dirty, ("b", "c")) == {"b": 5}
+
+
+def test_lying_user_lies_then_confesses(rows):
+    clean, dirty = rows
+    user = LyingUser(clean, lie_rounds=1)
+    lie = user.assert_correct(dirty, ("b",))
+    assert lie == {"b": 9}  # repeats the dirty value
+    truth = user.assert_correct(dirty, ("b",))
+    assert truth == {"b": 2}
+    assert user.lies_told == 1
+
+
+def test_lying_user_revision_is_truthful(rows):
+    clean, dirty = rows
+    user = LyingUser(clean, lie_rounds=5)
+    user.assert_correct(dirty, ("b",))
+    assert user.revise(dirty, ("b",), "conflict") == {"b": 2}
+    assert user.revisions == 1

@@ -1,0 +1,141 @@
+"""Pattern values, pattern tuples and tableaux (Sect. 2 semantics)."""
+
+import pytest
+
+from repro.core.patterns import (
+    ANY,
+    Const,
+    NotConst,
+    PatternTableau,
+    PatternTuple,
+    const,
+    neq,
+    wildcard,
+)
+from repro.engine.schema import RelationSchema, finite_domain, STRING
+from repro.engine.tuples import Row
+from repro.engine.values import UNKNOWN
+
+
+def test_constant_matches_only_its_value():
+    c = const(5)
+    assert c.matches(5)
+    assert not c.matches(6)
+    assert c.is_constant and not c.is_negation and not c.is_wildcard
+
+
+def test_negation_matches_everything_else():
+    n = neq(5)
+    assert not n.matches(5)
+    assert n.matches(6)
+    assert n.is_negation
+
+
+def test_wildcard_matches_all_and_is_singleton():
+    assert wildcard().matches(object())
+    assert wildcard() is ANY
+
+
+def test_pattern_tuple_matching_semantics():
+    schema = RelationSchema("R", ["a", "b", "c"])
+    tp = PatternTuple({"a": 1, "b": neq(2), "c": ANY})
+    assert tp.matches(Row(schema, [1, 3, 9]))
+    assert not tp.matches(Row(schema, [1, 2, 9]))   # b = 2 violates ā
+    assert not tp.matches(Row(schema, [0, 3, 9]))   # a != 1
+
+
+def test_unknown_fails_non_wildcard_conditions():
+    tp = PatternTuple({"a": 1, "b": ANY})
+    assert not tp.matches_values({"a": UNKNOWN, "b": 5})
+    assert tp.matches_values({"a": 1, "b": UNKNOWN})  # wildcard ignores UNKNOWN
+
+
+def test_empty_pattern_matches_everything():
+    schema = RelationSchema("R", ["a"])
+    assert PatternTuple({}).matches(Row(schema, [1]))
+
+
+def test_raw_values_coerced_to_constants():
+    tp = PatternTuple({"a": 7})
+    assert isinstance(tp["a"], Const)
+
+
+def test_duplicate_attrs_rejected():
+    with pytest.raises(ValueError):
+        PatternTuple(attrs=["a", "a"], values=[1, 2])
+
+
+def test_attrs_values_must_align():
+    with pytest.raises(ValueError):
+        PatternTuple(attrs=["a"], values=[1, 2])
+
+
+def test_normalized_drops_wildcards():
+    tp = PatternTuple({"a": 1, "b": ANY, "c": neq(3)})
+    n = tp.normalized()
+    assert n.attrs == ("a", "c")
+    assert "b" not in n
+
+
+def test_concrete_and_positive_classification():
+    assert PatternTuple({"a": 1}).is_concrete
+    assert not PatternTuple({"a": neq(1)}).is_concrete
+    assert not PatternTuple({"a": ANY}).is_concrete
+    assert PatternTuple({"a": 1, "b": ANY}).is_positive
+    assert not PatternTuple({"a": neq(1)}).is_positive
+
+
+def test_restrict_and_extend():
+    tp = PatternTuple({"a": 1, "b": 2})
+    assert tp.restrict(["b"]).attrs == ("b",)
+    extended = tp.extend({"c": ANY})
+    assert extended.attrs == ("a", "b", "c")
+    assert extended["c"].is_wildcard
+
+
+def test_satisfiability_over_finite_domains():
+    small = finite_domain("one", {1})
+    schema = RelationSchema("R", [("a", small), ("b", STRING)])
+    assert PatternTuple({"a": 1}).satisfiable(schema)
+    assert not PatternTuple({"a": 2}).satisfiable(schema)
+    assert not PatternTuple({"a": neq(1)}).satisfiable(schema)  # domain exhausted
+    assert PatternTuple({"b": neq("x")}).satisfiable(schema)
+
+
+def test_pattern_equality_and_hash():
+    t1 = PatternTuple({"a": 1, "b": neq(2)})
+    t2 = PatternTuple({"a": 1, "b": neq(2)})
+    assert t1 == t2 and hash(t1) == hash(t2)
+    assert t1 != PatternTuple({"a": 1, "b": 2})
+
+
+def test_tableau_marking():
+    schema = RelationSchema("R", ["a", "b"])
+    tableau = PatternTableau(
+        ("a", "b"),
+        [PatternTuple({"a": 1, "b": ANY}), PatternTuple({"a": 2, "b": 5})],
+    )
+    assert tableau.marks(Row(schema, [1, 99]))
+    assert tableau.marks(Row(schema, [2, 5]))
+    assert not tableau.marks(Row(schema, [2, 6]))
+    assert len(tableau.marking_patterns(Row(schema, [1, 0]))) == 1
+
+
+def test_tableau_rejects_mismatched_pattern():
+    tableau = PatternTableau(("a", "b"))
+    with pytest.raises(ValueError):
+        tableau.add(PatternTuple({"a": 1}))
+
+
+def test_tableau_deduplicates():
+    tableau = PatternTableau(("a",))
+    tableau.add(PatternTuple({"a": 1}))
+    tableau.add(PatternTuple({"a": 1}))
+    assert len(tableau) == 1
+
+
+def test_tableau_extend_all():
+    tableau = PatternTableau(("a",), [PatternTuple({"a": 1})])
+    extended = tableau.extend_all({"b": ANY})
+    assert extended.attrs == ("a", "b")
+    assert extended.patterns[0]["b"].is_wildcard

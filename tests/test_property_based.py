@@ -1,0 +1,222 @@
+"""Property-based tests (Hypothesis) on the core invariants.
+
+The headline property is chase confluence: the PTIME batched checker of
+:func:`repro.core.fixes.chase` must agree with the exhaustive order-exploring
+chase on arbitrary small instances — this validates the exact step-(g)
+strengthening documented in DESIGN.md §4.1.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.chase import explore_fixes
+from repro.analysis.closure import attribute_closure
+from repro.constraints.distance import levenshtein
+from repro.core.fixes import chase
+from repro.core.patterns import ANY, Const, NotConst, PatternTuple
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+from repro.engine.values import UNKNOWN
+
+R_ATTRS = ("a", "b", "c", "d")
+M_ATTRS = ("w", "x", "y", "z")
+
+values = st.integers(min_value=0, max_value=2)
+
+
+@st.composite
+def instances(draw):
+    """A random small (Σ, Dm, Z, t) instance."""
+    master_rows = draw(
+        st.lists(st.tuples(values, values, values, values), min_size=0,
+                 max_size=4)
+    )
+    num_rules = draw(st.integers(min_value=1, max_value=6))
+    rules = []
+    for i in range(num_rules):
+        lhs_size = draw(st.integers(min_value=1, max_value=2))
+        lhs = tuple(draw(st.permutations(R_ATTRS))[:lhs_size])
+        rhs = draw(st.sampled_from([a for a in R_ATTRS if a not in lhs]))
+        lhs_m = tuple(
+            draw(st.sampled_from(M_ATTRS)) for _ in lhs
+        )
+        rhs_m = draw(st.sampled_from(M_ATTRS))
+        pattern = {}
+        if draw(st.booleans()):
+            pattern_attr = draw(st.sampled_from(R_ATTRS))
+            if pattern_attr != rhs:
+                pattern[pattern_attr] = draw(values)
+        rules.append(
+            EditingRule(lhs, lhs_m, rhs, rhs_m, PatternTuple(pattern),
+                        name=f"r{i}")
+        )
+    z_size = draw(st.integers(min_value=1, max_value=4))
+    z = tuple(draw(st.permutations(R_ATTRS))[:z_size])
+    t = {attr: draw(values) for attr in z}
+    master = Relation(RelationSchema("Rm", [(a, INT) for a in M_ATTRS]))
+    for row in master_rows:
+        master.insert(row)
+    return master, rules, z, t
+
+
+@settings(max_examples=150, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(instances())
+def test_batched_chase_agrees_with_exhaustive_exploration(instance):
+    master, rules, z, t = instance
+    batched = chase(t, z, rules, master)
+    explored = explore_fixes(t, z, rules, master, max_states=20_000)
+    assert batched.unique == explored.unique
+    if batched.unique:
+        (final,) = explored.final_assignments
+        for attr in batched.covered:
+            if batched.assignment[attr] is not UNKNOWN:
+                assert final[attr] == batched.assignment[attr]
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances())
+def test_chase_never_touches_validated_attrs(instance):
+    master, rules, z, t = instance
+    out = chase(t, z, rules, master)
+    for attr in z:
+        assert out.assignment[attr] == t[attr]
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances())
+def test_chase_covered_contains_z_and_is_closure_bounded(instance):
+    master, rules, z, t = instance
+    out = chase(t, z, rules, master)
+    assert set(z) <= out.covered
+    assert out.covered <= attribute_closure(z, rules)
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances())
+def test_chase_is_idempotent_on_its_fixpoint(instance):
+    master, rules, z, t = instance
+    out = chase(t, z, rules, master)
+    if not out.unique:
+        return
+    again = chase(dict(out.assignment), out.covered, rules, master)
+    assert again.unique
+    assert again.assignment == out.assignment
+    assert again.covered == out.covered
+
+
+# -- pattern properties -------------------------------------------------------
+
+
+pattern_values = st.one_of(
+    st.builds(Const, values),
+    st.builds(NotConst, values),
+    st.just(ANY),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.dictionaries(st.sampled_from(R_ATTRS), pattern_values, min_size=1),
+    st.tuples(values, values, values, values),
+)
+def test_normalization_preserves_matching(conditions, row_values):
+    schema = RelationSchema("R", [(a, INT) for a in R_ATTRS])
+    row = dict(zip(R_ATTRS, row_values))
+    tp = PatternTuple(conditions)
+    assert tp.matches_values(row) == tp.normalized().matches_values(row)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.dictionaries(st.sampled_from(R_ATTRS), pattern_values, min_size=1),
+    st.tuples(values, values, values, values),
+)
+def test_restrict_weakens_matching(conditions, row_values):
+    row = dict(zip(R_ATTRS, row_values))
+    tp = PatternTuple(conditions)
+    restricted = tp.restrict(list(tp.attrs)[:1])
+    if tp.matches_values(row):
+        assert restricted.matches_values(row)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.sampled_from(R_ATTRS), pattern_values, min_size=1))
+def test_region_extension_only_adds_wildcards(conditions):
+    tp = PatternTuple(conditions)
+    region = Region(tuple(tp.attrs), None)
+    region.tableau.add(tp)
+    free = [a for a in R_ATTRS if a not in tp.attrs]
+    if not free:
+        return
+    rule = EditingRule(
+        (tp.attrs[0],), ("w",), free[0], "x", PatternTuple({})
+    )
+    extended = region.extend(rule)
+    assert extended.attrs == tuple(tp.attrs) + (free[0],)
+    assert extended.tableau.patterns[0][free[0]].is_wildcard
+
+
+# -- closure properties ---------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances())
+def test_attribute_closure_is_monotone_and_idempotent(instance):
+    _, rules, z, _ = instance
+    closure = attribute_closure(z, rules)
+    assert set(z) <= closure
+    assert attribute_closure(closure, rules) == closure
+    bigger = attribute_closure(set(z) | {"a"}, rules)
+    assert closure <= bigger | closure
+
+
+# -- Levenshtein metric properties ---------------------------------------------
+
+
+words = st.text(alphabet="abcde", max_size=8)
+
+
+@settings(max_examples=300, deadline=None)
+@given(words, words)
+def test_levenshtein_symmetry(a, b):
+    assert levenshtein(a, b) == levenshtein(b, a)
+
+
+@settings(max_examples=300, deadline=None)
+@given(words, words)
+def test_levenshtein_identity_and_bounds(a, b):
+    d = levenshtein(a, b)
+    assert (d == 0) == (a == b)
+    assert d <= max(len(a), len(b))
+    assert d >= abs(len(a) - len(b))
+
+
+@settings(max_examples=150, deadline=None)
+@given(words, words, words)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+# -- dirty generator statistics ---------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_dirty_generator_ground_truth_invariant(seed):
+    from repro.datasets import make_dirty_dataset, make_hosp
+
+    bundle = make_hosp(num_hospitals=6, num_measures=3, seed=1)
+    data = make_dirty_dataset(bundle, size=10, duplicate_rate=0.5,
+                              noise_rate=0.3, seed=seed)
+    for dt in data:
+        assert dt.dirty.schema.attributes == dt.clean.schema.attributes
+        for attr in dt.erroneous_attrs:
+            assert dt.dirty[attr] != dt.clean[attr]
+        untouched = set(dt.dirty.schema.attributes) - set(dt.erroneous_attrs)
+        for attr in untouched:
+            assert dt.dirty[attr] == dt.clean[attr]

@@ -1,0 +1,182 @@
+"""The Sect. 4 hardness constructions, validated against brute force."""
+
+import random
+
+import pytest
+
+from repro.analysis.consistency import is_consistent
+from repro.analysis.zproblems import z_counting, z_minimum_exact, z_validating
+from repro.reductions import (
+    Clause,
+    Literal,
+    SetCover,
+    ThreeSAT,
+    consistency_instance_from_3sat,
+    z_minimum_instance_from_set_cover,
+    z_validating_instance_from_3sat,
+)
+
+
+def _random_formula(rng, num_vars, num_clauses):
+    """A random 3SAT formula in which every variable occurs."""
+    while True:
+        clauses, used = [], set()
+        for _ in range(num_clauses):
+            variables = rng.sample(range(num_vars), 3)
+            used.update(variables)
+            clauses.append(
+                tuple((v, rng.random() < 0.5) for v in variables)
+            )
+        if used == set(range(num_vars)):
+            return ThreeSAT.from_tuples(num_vars, clauses)
+
+
+# -- 3SAT plumbing ------------------------------------------------------------
+
+
+def test_clause_requires_three_distinct_variables():
+    with pytest.raises(ValueError):
+        Clause((Literal(0), Literal(0), Literal(1)))
+    with pytest.raises(ValueError):
+        Clause((Literal(0), Literal(1)))
+
+
+def test_clause_falsifying_values():
+    clause = Clause((Literal(0, True), Literal(1, False), Literal(2, True)))
+    assert clause.falsifying_values() == (0, 1, 0)
+
+
+def test_three_sat_brute_force():
+    # (x0 ∨ x1 ∨ x2) has 7 models over 3 variables.
+    f = ThreeSAT.from_tuples(3, [((0, True), (1, True), (2, True))])
+    assert f.satisfiable()
+    assert f.model_count() == 7
+    # Conjoining the complementary all-positive / all-negative clauses
+    # leaves 6 models (all-true and all-false excluded).
+    g = ThreeSAT.from_tuples(
+        3,
+        [
+            ((0, True), (1, True), (2, True)),
+            ((0, False), (1, False), (2, False)),
+        ],
+    )
+    assert g.satisfiable()
+    assert g.model_count() == 6
+
+
+def test_literal_out_of_range():
+    with pytest.raises(ValueError):
+        ThreeSAT(2, [Clause((Literal(0), Literal(1), Literal(5)))])
+
+
+# -- Theorem 1: consistency ⇔ ¬SAT ------------------------------------------
+
+
+def test_consistency_reduction_unsatisfiable_formula():
+    # (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ ¬x1 ∨ ¬x2) ∧ ... craft an unsat formula:
+    # all eight sign patterns over three variables is unsatisfiable.
+    clauses = []
+    for b0 in (True, False):
+        for b1 in (True, False):
+            for b2 in (True, False):
+                clauses.append(((0, b0), (1, b1), (2, b2)))
+    f = ThreeSAT.from_tuples(3, clauses)
+    assert not f.satisfiable()
+    inst = consistency_instance_from_3sat(f)
+    assert len(inst.rules) == 9 * len(f.clauses) + 2
+    assert is_consistent(inst.rules, inst.master, inst.region, inst.schema)
+
+
+def test_consistency_reduction_satisfiable_formula():
+    f = ThreeSAT.from_tuples(3, [((0, True), (1, True), (2, True))])
+    inst = consistency_instance_from_3sat(f)
+    assert not is_consistent(inst.rules, inst.master, inst.region, inst.schema)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_consistency_reduction_random(seed):
+    rng = random.Random(seed)
+    f = _random_formula(rng, rng.choice([3, 4]), rng.choice([2, 3]))
+    inst = consistency_instance_from_3sat(f)
+    assert is_consistent(
+        inst.rules, inst.master, inst.region, inst.schema
+    ) == (not f.satisfiable())
+
+
+# -- Theorems 6/9: Z-validating ⇔ SAT, Z-counting = #models ------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_z_validating_reduction_random(seed):
+    rng = random.Random(100 + seed)
+    f = _random_formula(rng, rng.choice([3, 4]), rng.choice([2, 3]))
+    inst = z_validating_instance_from_3sat(f)
+    assert len(inst.rules) == 3 * len(f.clauses)
+    witness = z_validating(inst.rules, inst.master, inst.z, inst.schema)
+    assert (witness is not None) == f.satisfiable()
+    if witness is not None:
+        assignment = [witness[f"X{i + 1}"].value for i in range(f.num_vars)]
+        assert f.holds(assignment)  # the witness IS a model
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_z_counting_reduction_random(seed):
+    rng = random.Random(200 + seed)
+    f = _random_formula(rng, 3, rng.choice([2, 3]))
+    inst = z_validating_instance_from_3sat(f)
+    count = z_counting(inst.rules, inst.master, inst.z, inst.schema)
+    assert count == f.model_count()
+
+
+# -- Theorem 12: Z-minimum = minimum cover -----------------------------------
+
+
+def test_set_cover_brute_force():
+    sc = SetCover(4, [{0, 1}, {2, 3}, {0, 1, 2}])
+    assert sc.minimum_cover_size() == 2
+    assert sc.is_cover((0, 1))
+    assert not sc.is_cover((2,))
+
+
+def test_set_cover_no_cover():
+    sc = SetCover(3, [{0}, {1}])
+    assert sc.minimum_cover() is None
+
+
+def test_set_cover_rejects_foreign_elements():
+    with pytest.raises(ValueError):
+        SetCover(2, [{0, 5}])
+
+
+def test_greedy_cover_known_trap():
+    """The classic log-factor trap: greedy picks the big set first."""
+    sc = SetCover(6, [{0, 1, 2}, {3, 4, 5}, {0, 1, 3, 4}])
+    assert sc.minimum_cover_size() == 2
+    greedy = sc.greedy_cover()
+    assert len(greedy) == 3  # 2-set optimum missed
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_z_minimum_reduction_random(seed):
+    rng = random.Random(300 + seed)
+    n = rng.choice([3, 4])
+    h = rng.choice([2, 3])
+    subsets = [set(rng.sample(range(n), rng.randint(1, n))) for _ in range(h)]
+    subsets[0] |= set(range(n)) - set().union(*subsets)
+    sc = SetCover(n, subsets)
+    inst = z_minimum_instance_from_set_cover(sc)
+    result = z_minimum_exact(
+        inst.rules, inst.master, inst.schema, max_subsets=500_000
+    )
+    assert result is not None
+    z, witness = result
+    assert len(z) == sc.minimum_cover_size()
+    assert witness is not None
+
+
+def test_z_minimum_reduction_rule_count():
+    sc = SetCover(3, [{0, 1}, {2}])
+    inst = z_minimum_instance_from_set_cover(sc)
+    h = len(sc.subsets)
+    expected = (h + 1) * sum(len(s) for s in sc.subsets) + h
+    assert len(inst.rules) == expected

@@ -1,0 +1,76 @@
+"""CompCRegion and GRegion (Exp-1(1) structure)."""
+
+from repro.analysis.coverage import is_certain_region
+from repro.repair.region_search import comp_c_region, g_region
+
+
+def test_comp_c_region_hosp_size_two(hosp):
+    """The paper's headline: HOSP certain region of size 2 = (id, mCode)."""
+    candidates = comp_c_region(hosp.rules, hosp.master, hosp.schema)
+    assert candidates
+    best = candidates[0]
+    assert set(best.region.attrs) == {"id", "mCode"}
+
+
+def test_comp_c_region_dblp_size_five(dblp):
+    """DBLP: Z = (ptitle, a1, a2, type, pages), size 5 as in the paper."""
+    candidates = comp_c_region(dblp.rules, dblp.master, dblp.schema)
+    best = candidates[0]
+    assert set(best.region.attrs) == {"ptitle", "a1", "a2", "type", "pages"}
+
+
+def test_comp_c_region_emits_only_certain_regions(hosp):
+    """Every returned region must pass the Sect. 4 coverage checker."""
+    candidates = comp_c_region(
+        hosp.rules, hosp.master, hosp.schema, max_regions=3,
+        validate_patterns=8,
+    )
+    for candidate in candidates:
+        sample = candidate.region.restrict_tableau(
+            candidate.region.tableau.patterns[:2]
+        )
+        assert is_certain_region(
+            hosp.rules, hosp.master, sample, hosp.schema
+        ), candidate.describe()
+
+
+def test_comp_c_region_quality_ordering(hosp):
+    candidates = comp_c_region(hosp.rules, hosp.master, hosp.schema)
+    qualities = [c.quality for c in candidates]
+    assert qualities == sorted(qualities, reverse=True)
+    sizes = [c.size for c in candidates]
+    assert sizes[0] == min(sizes)  # smaller Z ranks higher
+
+
+def test_comp_c_region_tableau_is_master_projected(hosp):
+    best = comp_c_region(hosp.rules, hosp.master, hosp.schema)[0]
+    ids = hosp.master.active_values("id")
+    for pattern in best.region.tableau.patterns[:5]:
+        assert pattern["id"].value in ids
+
+
+def test_g_region_hosp_size_four(hosp):
+    """The greedy baseline needs 4 attributes on HOSP, as in the paper."""
+    greedy = g_region(hosp.rules, hosp.master, hosp.schema)
+    assert greedy is not None
+    assert len(greedy.region.attrs) == 4
+    assert {"id", "mCode"} <= set(greedy.region.attrs)
+
+
+def test_g_region_never_beats_comp_c_region(hosp, dblp):
+    for bundle in (hosp, dblp):
+        best = comp_c_region(bundle.rules, bundle.master, bundle.schema)[0]
+        greedy = g_region(bundle.rules, bundle.master, bundle.schema)
+        assert len(greedy.region.attrs) >= len(best.region.attrs)
+
+
+def test_g_region_output_is_certain(hosp):
+    greedy = g_region(hosp.rules, hosp.master, hosp.schema)
+    sample = greedy.region.restrict_tableau(greedy.region.tableau.patterns[:2])
+    assert is_certain_region(hosp.rules, hosp.master, sample, hosp.schema)
+
+
+def test_candidate_describe(hosp):
+    candidate = comp_c_region(hosp.rules, hosp.master, hosp.schema)[0]
+    text = candidate.describe()
+    assert "Z=" in text and "quality" in text

@@ -1,0 +1,92 @@
+"""Regions (Z, Tc), marking, and the ext(Z, Tc, φ) extension."""
+
+import pytest
+
+from repro.core.patterns import ANY, PatternTuple, neq
+from repro.core.regions import Region
+from repro.core.rules import EditingRule
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("R", ["a", "b", "c", "d"])
+
+
+def test_region_construction_and_marking(schema):
+    region = Region.from_patterns(("a", "b"), [{"a": 1, "b": ANY}])
+    assert region.marks(Row(schema, [1, 9, 0, 0]))
+    assert not region.marks(Row(schema, [2, 9, 0, 0]))
+
+
+def test_region_from_value_tuples(schema):
+    region = Region.from_patterns(("a", "b"), [(1, 2), (3, 4)])
+    assert len(region.tableau) == 2
+    assert region.marks(Row(schema, [3, 4, 0, 0]))
+
+
+def test_region_duplicate_attrs_rejected():
+    with pytest.raises(ValueError):
+        Region(("a", "a"))
+
+
+def test_region_tableau_attr_mismatch_rejected():
+    from repro.core.patterns import PatternTableau
+
+    tableau = PatternTableau(("b", "a"), [PatternTuple({"b": 1, "a": 2})])
+    with pytest.raises(ValueError):
+        Region(("a", "b"), tableau)
+
+
+def test_extension_adds_wildcard_column(schema):
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    rule = EditingRule(("a",), ("x",), "b", "y")
+    extended = region.extend(rule)
+    assert extended.attrs == ("a", "b")
+    pattern = extended.tableau.patterns[0]
+    assert pattern["a"].is_constant
+    assert pattern["b"].is_wildcard
+
+
+def test_extension_rejects_protected_target(schema):
+    region = Region.from_patterns(("a", "b"), [{"a": 1, "b": 2}])
+    rule = EditingRule(("a",), ("x",), "b", "y")
+    with pytest.raises(ValueError, match="already in Z"):
+        region.extend(rule)
+
+
+def test_extension_preserves_marking(schema):
+    """ext only widens: marked tuples stay marked."""
+    region = Region.from_patterns(("a",), [{"a": neq(0)}])
+    rule = EditingRule(("a",), ("x",), "c", "y")
+    extended = region.extend(rule)
+    t = Row(schema, [5, 0, 0, 0])
+    assert region.marks(t)
+    assert extended.marks(t)
+
+
+def test_extend_attrs_batch(schema):
+    region = Region.from_patterns(("a",), [{"a": 1}])
+    extended = region.extend_attrs(["c", "d", "a"])
+    assert extended.attrs == ("a", "c", "d")
+
+
+def test_single_pattern_regions_split(schema):
+    region = Region.from_patterns(("a",), [{"a": 1}, {"a": 2}])
+    singles = region.single_pattern_regions()
+    assert len(singles) == 2
+    assert all(len(s.tableau) == 1 for s in singles)
+
+
+def test_concrete_and_positive_flags():
+    assert Region.from_patterns(("a",), [{"a": 1}]).is_concrete
+    assert not Region.from_patterns(("a",), [{"a": neq(1)}]).is_concrete
+    assert Region.from_patterns(("a",), [{"a": ANY}]).is_positive
+
+
+def test_running_example_regions_mark_expected_tuples(example):
+    assert example.regions["ZAH"].marks(example.inputs["t3"])
+    assert example.regions["Zzm"].marks(example.inputs["t1"])
+    assert example.regions["Zzmi"].marks(example.inputs["t1"])
+    assert not example.regions["Zzmi"].marks(example.inputs["t4"])

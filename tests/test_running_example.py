@@ -1,0 +1,155 @@
+"""The paper's running example, example by example (Fig. 1, Examples 1-13)."""
+
+from repro.core.fixes import chase, fix_sequence, region_apply
+from repro.core.regions import Region
+from repro.engine.values import NULL
+from repro.repair.transfix import transfix
+
+
+def _rule(example, name):
+    return next(r for r in example.rules if r.name == name)
+
+
+def test_example1_cfd_detects_but_cannot_locate(example):
+    """t1 violates 'AC = 020 → city = Ldn' — detection without location."""
+    from repro.constraints.cfd import CFD
+    from repro.core.patterns import PatternTuple
+
+    cfd = CFD("AC", "city", PatternTuple({"AC": "020", "city": "Ldn"}))
+    assert cfd.single_tuple_violation(example.inputs["t1"])
+
+
+def test_example3_rule_structure(example):
+    phi1 = _rule(example, "phi1")
+    assert phi1.lhs == ("zip",) and phi1.rhs == "AC"
+    assert len(phi1.pattern) == 0  # tp1 = ()
+    phi4 = _rule(example, "phi4")
+    assert phi4.lhs == ("phn",) and phi4.lhs_m == ("Mphn",)
+    phi6 = _rule(example, "phi6")
+    assert phi6.pattern["type"].matches(1)
+    assert not phi6.pattern["AC"].matches("0800")  # the 0800̄ negation
+    phi9 = _rule(example, "phi9")
+    assert phi9.pattern["AC"].matches("0800")
+
+
+def test_example4_applying_phi1_and_phi2_to_t1(example):
+    """(φ1, s1): AC 020→131; (φ2-as-str rule, s1): str fixed; (φ4, s1): FN."""
+    t1, s1 = example.inputs["t1"], example.masters["s1"]
+    phi1 = _rule(example, "phi1")
+    assert phi1.applies_to(t1, s1)
+    fixed = phi1.apply(t1, s1)
+    assert fixed["AC"] == "131"
+
+    phi4 = _rule(example, "phi4")
+    assert phi4.applies_to(t1, s1)
+    assert phi4.apply(t1, s1)["FN"] == "Robert"
+
+
+def test_example4_phi6_applies_to_t2(example):
+    """eR3 with s1 corrects t2[city] and enriches t2[str, zip]."""
+    t2, s1 = example.inputs["t2"], example.masters["s1"]
+    assert t2["str"] is NULL and t2["zip"] is NULL
+    region = Region.from_patterns(
+        ("AC", "phn", "type"),
+        [{"AC": t2["AC"], "phn": t2["phn"], "type": 1}],
+    )
+    result = transfix(t2, region.attrs, example.rules, example.master)
+    assert result.row["city"] == "Edi"
+    assert result.row["str"] == "51 Elm Row"
+    assert result.row["zip"] == "EH7 4AH"
+
+
+def test_example5_conflicting_rules_on_t3(example):
+    """(φ1-family, s1) and (φ3-family, s2) suggest Edi vs Lnd for city."""
+    t3 = example.inputs["t3"]
+    s1, s2 = example.masters["s1"], example.masters["s2"]
+    zip_city = _rule(example, "phi3")   # zip → city
+    home_city = _rule(example, "phi7")  # (AC, phn) → city
+    assert zip_city.applies_to(t3, s1)
+    assert home_city.applies_to(t3, s2)
+    assert zip_city.apply(t3, s1)["city"] == "Edi"
+    assert home_city.apply(t3, s2)["city"] == "Lnd"
+
+
+def test_example5_t4_matches_nothing(example):
+    t4 = example.inputs["t4"]
+    for rule in example.rules:
+        for tm in example.master:
+            assert not rule.applies_to(t4, tm)
+
+
+def test_example6_region_constrained_application(example):
+    """t3 →((Z_AH,T_AH),φ7,s2) t'3 with str/city/zip from s2."""
+    t3, s2 = example.inputs["t3"], example.masters["s2"]
+    region = example.regions["ZAH"]
+    phi6 = _rule(example, "phi6")
+    fixed, extended = region_apply(t3, region, phi6, s2)
+    assert fixed["str"] == "20 Baker St"
+    assert extended.attrs == ("AC", "phn", "type", "str")
+
+
+def test_example7_region_extension_pads_wildcards(example):
+    region = example.regions["ZAH"]
+    extended = region.extend(_rule(example, "phi6"))
+    pattern = extended.tableau.patterns[0]
+    assert pattern["str"].is_wildcard
+    assert pattern["type"].is_constant  # original conditions kept
+
+
+def test_example8_t3_unique_fix_wrt_zah(example):
+    out = chase(
+        example.inputs["t3"], example.regions["ZAH"].attrs,
+        example.rules, example.master,
+    )
+    assert out.unique
+    assert out.assignment["city"] == "Lnd"
+    assert out.assignment["zip"] == "NW1 6XE"
+    assert not out.is_certain(example.schema)  # FN/LN/item uncovered
+
+
+def test_example8_t3_loses_uniqueness_with_zip(example):
+    out = chase(
+        example.inputs["t3"], example.regions["ZAHZ"].attrs,
+        example.rules, example.master,
+    )
+    assert not out.unique
+
+
+def test_example8_t1_unique_fix_wrt_zzm_but_not_certain(example):
+    out = chase(
+        example.inputs["t1"], example.regions["Zzm"].attrs,
+        example.rules, example.master,
+    )
+    assert out.unique
+    assert out.assignment["FN"] == "Robert"
+    assert out.assignment["AC"] == "131"
+    assert "item" not in out.covered
+    assert not out.is_certain(example.schema)
+
+
+def test_example12_transfix_iteration_trace(example):
+    """Example 12's table: from Z = {zip}, AC then str then city validate."""
+    result = transfix(
+        example.inputs["t1"], {"zip"}, example.rules, example.master
+    )
+    assert result.validated == {"zip", "AC", "str", "city"}
+    fixed_order = [rule.rhs for rule, _ in result.applied]
+    assert set(fixed_order) == {"AC", "str", "city"}
+
+
+def test_example13_certain_fix_via_explicit_sequence(example):
+    """Drive t1 to a certain fix by hand through (φ1..φ5, s1) under Zzmi."""
+    t1 = example.inputs["t1"]
+    s1 = example.masters["s1"]
+    region = example.regions["Zzmi"]
+    steps = [
+        (_rule(example, "phi1"), s1),
+        (_rule(example, "phi2"), s1),
+        (_rule(example, "phi3"), s1),
+        (_rule(example, "phi4"), s1),
+        (_rule(example, "phi5"), s1),
+    ]
+    fixed, final_region = fix_sequence(t1, region, steps)
+    assert fixed["FN"] == "Robert"
+    assert fixed["AC"] == "131"
+    assert set(final_region.attrs) == set(example.schema.attributes)

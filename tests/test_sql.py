@@ -1,0 +1,27 @@
+"""SQL rendering helpers."""
+
+from repro.core.patterns import ANY, PatternTuple, neq
+from repro.engine.sql import condition_sql, pattern_where, sql_literal
+
+
+def test_sql_literal_types():
+    assert sql_literal(5) == "5"
+    assert sql_literal(2.5) == "2.5"
+    assert sql_literal(True) == "TRUE"
+    assert sql_literal("text") == "'text'"
+
+
+def test_sql_literal_escapes_quotes():
+    assert sql_literal("O'Brien") == "'O''Brien'"
+
+
+def test_condition_sql_variants():
+    assert condition_sql("t.a", PatternTuple({"a": 5})["a"]) == "t.a = 5"
+    assert condition_sql("t.a", neq(5)) == "t.a <> 5"
+    assert condition_sql("t.a", ANY) == "TRUE"
+
+
+def test_pattern_where_skips_wildcards_and_missing():
+    tp = PatternTuple({"a": 1, "b": ANY})
+    predicates = pattern_where(["ca", "cb", "cc"], tp, ["a", "b", "c"], "T")
+    assert predicates == ["T.ca = 1"]

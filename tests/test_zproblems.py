@@ -1,0 +1,159 @@
+"""Z-validating, Z-counting, Z-minimum (Sect. 4.2)."""
+
+import pytest
+
+from repro.analysis.closure import attribute_closure, mandatory_attrs, one_hop_cover
+from repro.analysis.zproblems import (
+    attr_master_options,
+    attr_pattern_constants,
+    master_projected_patterns,
+    z_counting,
+    z_minimum_exact,
+    z_minimum_greedy,
+    z_validating,
+)
+from repro.core.patterns import PatternTuple, neq
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+
+
+def _setup(master_rows, rules_spec):
+    r = RelationSchema("R", [(a, INT) for a in "abcd"])
+    rm = RelationSchema("Rm", [(a, INT) for a in "wxyz"])
+    master = Relation(rm)
+    for row in master_rows:
+        master.insert(row)
+    rules = [
+        EditingRule(lhs, lhs_m, rhs, rhs_m, PatternTuple(pattern or {}),
+                    name=f"r{i}")
+        for i, (lhs, lhs_m, rhs, rhs_m, pattern) in enumerate(rules_spec)
+    ]
+    return r, master, rules
+
+
+CHAIN = [
+    (("a",), ("w",), "b", "x", None),
+    (("b",), ("x",), "c", "y", None),
+    (("c",), ("y",), "d", "z", None),
+]
+
+
+def test_attribute_closure_chains():
+    _, _, rules = _setup([(1, 2, 3, 4)], CHAIN)
+    assert attribute_closure({"a"}, rules) == {"a", "b", "c", "d"}
+    assert attribute_closure({"b"}, rules) == {"b", "c", "d"}
+    assert attribute_closure({"d"}, rules) == {"d"}
+
+
+def test_one_hop_cover_is_myopic():
+    _, _, rules = _setup([(1, 2, 3, 4)], CHAIN)
+    assert one_hop_cover("a", rules) == {"b"}  # no chaining
+
+
+def test_mandatory_attrs():
+    r, _, rules = _setup([(1, 2, 3, 4)], CHAIN)
+    assert mandatory_attrs(r, rules) == {"a"}
+
+
+def test_attr_master_options_and_constants():
+    _, _, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", {"a": 7, "c": neq(0)})],
+    )
+    assert attr_master_options("a", rules) == ("w",)
+    assert attr_pattern_constants("a", rules) == (7,)
+    assert attr_pattern_constants("c", rules) == ()  # negations excluded
+
+
+def test_master_projected_patterns_shape():
+    _, master, rules = _setup([(1, 2, 3, 4), (5, 6, 7, 8)], CHAIN)
+    patterns = master_projected_patterns(("a",), rules, master)
+    values = sorted(p["a"].value for p in patterns)
+    assert values == [1, 5]
+
+
+def test_master_projected_patterns_wildcard_for_unruled_attr():
+    _, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    patterns = master_projected_patterns(("a", "d"), rules, master)
+    assert patterns[0]["d"].is_wildcard
+
+
+def test_z_validating_finds_witness():
+    r, master, rules = _setup([(1, 2, 3, 4)], CHAIN)
+    witness = z_validating(rules, master, ("a",), r)
+    assert witness is not None
+    assert witness["a"].value == 1
+
+
+def test_z_validating_prunes_by_closure():
+    r, master, rules = _setup([(1, 2, 3, 4)], CHAIN[:2])  # d unreachable
+    assert z_validating(rules, master, ("a",), r) is None
+
+
+def test_z_validating_none_when_no_master_support():
+    r, master, rules = _setup([], CHAIN)
+    assert z_validating(rules, master, ("a",), r) is None
+
+
+def test_z_counting_counts_constants():
+    r, master, rules = _setup([(1, 2, 3, 4), (5, 6, 7, 8)], CHAIN)
+    # Two master keys work; negations and fresh values fail coverage.
+    assert z_counting(rules, master, ("a",), r) == 2
+
+
+def test_z_counting_zero_without_closure():
+    r, master, rules = _setup([(1, 2, 3, 4)], CHAIN[:2])
+    assert z_counting(rules, master, ("a",), r) == 0
+
+
+def test_z_counting_budget():
+    rows = [(i, i, i, i) for i in range(30)]
+    r, master, rules = _setup(rows, CHAIN)
+    with pytest.raises(RuntimeError, match="#P-complete"):
+        z_counting(rules, master, ("a", "b", "c", "d"), r, max_candidates=10)
+
+
+def test_z_minimum_exact_finds_smallest():
+    r, master, rules = _setup([(1, 2, 3, 4)], CHAIN)
+    z, witness = z_minimum_exact(rules, master, r)
+    assert z == ("a",)
+    assert witness is not None
+
+
+def test_z_minimum_exact_includes_mandatory():
+    r, master, rules = _setup(
+        [(1, 2, 3, 4)],
+        [
+            (("a",), ("w",), "b", "x", None),
+            (("b",), ("x",), "c", "y", None),
+        ],
+    )
+    z, _ = z_minimum_exact(rules, master, r)
+    assert set(z) == {"a", "d"}
+
+
+def test_z_minimum_with_empty_master_degenerates_to_full_z():
+    """With no master data nothing is fixable: the minimum certain region
+    asks the user to validate every attribute (Z = R is trivially certain)."""
+    r, master, rules = _setup([], CHAIN)
+    z, _ = z_minimum_exact(rules, master, r)
+    assert set(z) == {"a", "b", "c", "d"}
+
+
+def test_z_minimum_greedy_upper_bounds_exact():
+    r, master, rules = _setup([(1, 2, 3, 4)], CHAIN)
+    exact = z_minimum_exact(rules, master, r)
+    greedy = z_minimum_greedy(rules, master, r)
+    assert greedy is not None
+    assert len(greedy[0]) >= len(exact[0])
+
+
+def test_z_minimum_on_hosp(hosp):
+    """The paper's headline: HOSP has a certain region with |Z| = 2."""
+    z, witness = z_minimum_greedy(hosp.rules, hosp.master, hosp.schema)
+    assert set(z) == {"id", "mCode"}
+    assert witness is not None
