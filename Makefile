@@ -1,0 +1,22 @@
+# Developer entry points.  The python toolchain is assumed on PATH; every
+# target is pure stdlib + pytest.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke bench example
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Quick perf smoke: seeds/refreshes BENCH_batch.json at reduced scale and
+# fails if the batch engine loses its >=2x margin over naive fix_stream.
+smoke:
+	$(PYTHON) benchmarks/bench_batch_throughput.py --quick
+
+# Full-scale throughput trajectory (the committed BENCH_batch.json).
+bench:
+	$(PYTHON) benchmarks/bench_batch_throughput.py
+
+example:
+	$(PYTHON) examples/batch_throughput.py

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Batch repair throughput: naive per-tuple monitoring vs the batch engine.
+
+Seeds the repo's perf trajectory (``BENCH_batch.json``): the baseline is
+``CertainFix.fix_stream`` exactly as the experiments run it — a bare
+sequential loop with fresh ``Suggest`` calls every round — and the
+contender is :class:`repro.repair.batch.BatchRepairEngine` with all shared
+caches enabled (precomputed regions, master indexes, the Suggest⁺ BDD and
+validated-pattern memoization), sequentially and with a thread fan-out.
+
+Run:  PYTHONPATH=src python benchmarks/bench_batch_throughput.py [--quick]
+
+Not a pytest module on purpose: this is a standalone perf harness whose
+output file downstream sessions diff against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig, load_workload
+from repro.repair.batch import BatchRepairEngine
+from repro.repair.certainfix import CertainFix
+from repro.repair.oracle import SimulatedUser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _precompute_regions(bundle) -> tuple:
+    """Certain regions are offline infrastructure shared by every engine
+    ("computed once and repeatedly used as long as Σ and Dm are
+    unchanged") — both contenders get them precomputed, and the one-time
+    cost is reported separately."""
+    from repro.repair.region_search import comp_c_region
+
+    started = time.perf_counter()
+    regions = comp_c_region(bundle.rules, bundle.master, bundle.schema)
+    return regions, time.perf_counter() - started
+
+
+def _time_naive(bundle, data, regions) -> dict:
+    """The pre-batch path: per-tuple loop, no suggestion reuse."""
+    started = time.perf_counter()
+    engine = CertainFix(bundle.rules, bundle.master, bundle.schema,
+                        regions=regions, use_bdd=False)
+    sessions = engine.fix_stream(
+        (dt.dirty, SimulatedUser(dt.clean)) for dt in data
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "throughput_tps": round(len(sessions) / elapsed, 2),
+        "rounds": sum(s.round_count for s in sessions),
+        "completed": sum(1 for s in sessions if s.completed),
+    }
+
+
+def _time_batch(bundle, data, regions, concurrency: int) -> dict:
+    started = time.perf_counter()
+    engine = BatchRepairEngine(
+        bundle.rules, bundle.master, bundle.schema,
+        regions=regions, use_bdd=True, memoize=True, concurrency=concurrency,
+    )
+    result = engine.run_dirty(data)
+    elapsed = time.perf_counter() - started  # engine setup included
+    out = result.report.to_dict()
+    out["elapsed_s"] = round(elapsed, 4)
+    out["throughput_tps"] = round(result.report.tuples / elapsed, 2)
+    return out
+
+
+def run(quick: bool, concurrency: int, output: Path) -> dict:
+    scale = (
+        {"master_size": 600, "input_size": 100}
+        if quick
+        else {"master_size": 1500, "input_size": 200}
+    )
+    results = {}
+    for dataset in ("hosp", "dblp"):
+        config = ExperimentConfig(dataset=dataset, **scale)
+        bundle, data = load_workload(config)
+        regions, region_time = _precompute_regions(bundle)
+        print(f"[{dataset}] |Dm|={len(bundle.master)}  |D|={len(data)}  "
+              f"(regions precomputed in {region_time:.2f}s)")
+
+        naive = _time_naive(bundle, data, regions)
+        print(f"  naive fix_stream : {naive['throughput_tps']:8.1f} tuples/s")
+
+        batch = _time_batch(bundle, data, regions, concurrency=1)
+        speedup = batch["throughput_tps"] / naive["throughput_tps"]
+        print(f"  batch (seq)      : {batch['throughput_tps']:8.1f} tuples/s"
+              f"  ({speedup:.2f}x)")
+
+        threaded = _time_batch(bundle, data, regions, concurrency=concurrency)
+        t_speedup = threaded["throughput_tps"] / naive["throughput_tps"]
+        print(f"  batch (x{concurrency})       : "
+              f"{threaded['throughput_tps']:8.1f} tuples/s  ({t_speedup:.2f}x)")
+
+        results[dataset] = {
+            "master_size": len(bundle.master),
+            "input_size": len(data),
+            "region_precompute_s": round(region_time, 4),
+            "naive_fix_stream": naive,
+            "batch_sequential": batch,
+            f"batch_concurrency_{concurrency}": threaded,
+            "speedup_sequential": round(speedup, 2),
+            f"speedup_concurrency_{concurrency}": round(t_speedup, 2),
+        }
+
+    payload = {
+        "benchmark": "batch_repair_throughput",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "results": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke scale (|Dm|~600, |D|=100)")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_batch.json")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail unless every dataset's sequential batch "
+                             "speedup reaches this factor")
+    args = parser.parse_args(argv)
+
+    payload = run(args.quick, args.concurrency, args.output)
+    worst = min(
+        entry["speedup_sequential"] for entry in payload["results"].values()
+    )
+    if worst < args.min_speedup:
+        print(f"FAIL: worst sequential speedup {worst:.2f}x "
+              f"< required {args.min_speedup:.2f}x")
+        return 1
+    print(f"OK: worst sequential speedup {worst:.2f}x "
+          f">= {args.min_speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

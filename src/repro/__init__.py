@@ -73,8 +73,12 @@ from repro.analysis import (
     z_validating,
 )
 from repro.repair import (
+    BatchRepairEngine,
+    BatchReport,
+    BatchResult,
     CertainFix,
     FixSession,
+    IncompleteFix,
     SimulatedUser,
     comp_c_region,
     g_region,
@@ -98,6 +102,9 @@ __all__ = [
     "ANY",
     "AggregateMetrics",
     "Attribute",
+    "BatchRepairEngine",
+    "BatchReport",
+    "BatchResult",
     "CFD",
     "CertainFix",
     "ChaseOutcome",
@@ -112,6 +119,7 @@ __all__ = [
     "FixSession",
     "INT",
     "IncRep",
+    "IncompleteFix",
     "NULL",
     "NotConst",
     "PatternTableau",

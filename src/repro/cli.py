@@ -1,24 +1,28 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands wrap the library for file-based use:
+Four commands wrap the library for file-based use:
 
-* ``analyze`` — load rules (JSON) and master data (CSV), report the rule
-  dependency structure, the certain regions, and the suggested user burden;
-* ``mine``    — discover editing rules from a master CSV and write them as
-  a JSON rule file (review before deploying; see ablation A4);
-* ``demo``    — run the paper's running example end to end.
+* ``analyze``      — load rules (JSON) and master data (CSV), report the
+  rule dependency structure, the certain regions, and the user burden;
+* ``mine``         — discover editing rules from a master CSV and write
+  them as a JSON rule file (review before deploying; see ablation A4);
+* ``batch-repair`` — stream a dirty CSV through the batch repair engine
+  (shared caches, chunked execution, optional concurrency) and write the
+  repaired rows plus a throughput report;
+* ``demo``         — run the paper's running example end to end.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import io as rule_io
 from repro.analysis.closure import mandatory_attrs
 from repro.analysis.dependency_graph import DependencyGraph
 from repro.discovery import discover_editing_rules, rules_only
-from repro.engine.csvio import relation_from_csv
+from repro.engine.csvio import relation_from_csv, relation_to_csv
 from repro.repair.region_search import comp_c_region, g_region
 
 
@@ -71,6 +75,50 @@ def _cmd_mine(args) -> int:
     return 0
 
 
+def _cmd_batch_repair(args) -> int:
+    from repro.repair.batch import BatchRepairEngine
+    from repro.repair.certainfix import IncompleteFix, ValidationFailed
+
+    try:
+        master = relation_from_csv(args.master)
+        with open(args.rules, encoding="utf-8") as handle:
+            rules = rule_io.loads(handle.read())
+        engine = BatchRepairEngine(
+            rules,
+            master,
+            master.schema,  # same-schema deployments (R = Rm), as in Sect. 6
+            use_bdd=not args.no_bdd,
+            memoize=not args.no_memoize,
+            chunk_size=args.chunk_size,
+            concurrency=args.concurrency,
+            on_incomplete=args.on_incomplete,
+            max_rounds=args.max_rounds,
+        )
+        result = engine.run_csv(args.input, clean_path=args.clean)
+    except IncompleteFix as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: raise --max-rounds, or use --on-incomplete keep to "
+              "get the truncated sessions", file=sys.stderr)
+        return 2
+    except (ValueError, ValidationFailed) as exc:
+        # Malformed input files (bad header, ragged row, invalid rules
+        # JSON, misaligned clean file), no certain region for (Σ, Dm), or
+        # clean values that keep conflicting with master data.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.report.describe())
+
+    if args.output:
+        relation_to_csv(result.to_relation(master.schema), args.output)
+        print(f"wrote {result.report.tuples} repaired rows to {args.output}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(result.report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote report to {args.report}")
+    return 0 if result.report.incomplete == 0 else 2
+
+
 def _cmd_demo(args) -> int:
     from repro.core.fixes import chase
     from repro.datasets import make_running_example
@@ -103,6 +151,34 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--min-selectivity", type=float, default=0.01)
     mine.add_argument("--show", type=int, default=10)
     mine.set_defaults(func=_cmd_mine)
+
+    batch = sub.add_parser(
+        "batch-repair",
+        help="stream a dirty CSV through the batch repair engine",
+    )
+    batch.add_argument("--rules", required=True, help="rules JSON file")
+    batch.add_argument("--master", required=True, help="master data CSV")
+    batch.add_argument("--input", required=True, help="dirty input CSV")
+    batch.add_argument(
+        "--clean", required=True,
+        help="ground-truth CSV aligned row-for-row with --input; plays the "
+             "truthful simulated user (programmatic callers may supply any "
+             "oracle via BatchRepairEngine.run_csv instead)",
+    )
+    batch.add_argument("--output", help="repaired rows CSV to write")
+    batch.add_argument("--report", help="JSON throughput report to write")
+    batch.add_argument("--chunk-size", type=int, default=256)
+    batch.add_argument("--concurrency", type=int, default=1)
+    batch.add_argument("--max-rounds", type=int, default=12)
+    batch.add_argument(
+        "--on-incomplete", choices=("keep", "raise"), default="keep",
+        help="policy for sessions that exhaust --max-rounds",
+    )
+    batch.add_argument("--no-bdd", action="store_true",
+                       help="disable the shared Suggest+ BDD cache")
+    batch.add_argument("--no-memoize", action="store_true",
+                       help="disable validated-pattern memoization")
+    batch.set_defaults(func=_cmd_batch_repair)
 
     demo = sub.add_parser("demo", help="run the paper's running example")
     demo.set_defaults(func=_cmd_demo)

@@ -12,6 +12,12 @@ describes, and the direct-fix consistency checks are evaluated both
 in-memory and via rendered SQL (see :mod:`repro.engine.sql`).
 """
 
+from repro.engine.csvio import (
+    CsvRowStream,
+    relation_from_csv,
+    relation_to_csv,
+    stream_rows_from_csv,
+)
 from repro.engine.index import HashIndex
 from repro.engine.multi import (
     SOURCE_ID,
@@ -35,6 +41,7 @@ from repro.engine.values import NULL, UNKNOWN, is_null, is_unknown
 
 __all__ = [
     "Attribute",
+    "CsvRowStream",
     "Domain",
     "HashIndex",
     "INT",
@@ -53,8 +60,11 @@ __all__ = [
     "is_unknown",
     "natural_join",
     "project",
+    "relation_from_csv",
+    "relation_to_csv",
     "rename",
     "select",
+    "stream_rows_from_csv",
     "select_source",
     "split_rules_by_source",
 ]

@@ -2,19 +2,104 @@
 
 Master data usually arrives as files; these helpers move relations in and
 out of CSV with the library's NULL convention (empty cells are NULL).
-All values load as strings — matching keys across columns is string-based,
-which is what the paper's schemas use; callers needing typed columns can
-post-process.
+Without an explicit schema all values load as strings — matching keys
+across columns is string-based, which is what the paper's schemas use.
+With a typed schema, ``int``-domain cells are coerced back to ``int`` so a
+CSV round trip composes with in-memory masters (whose generated rows carry
+real ints) instead of silently breaking key matches on ``87 != "87"``.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import Iterator
 
 from repro.engine.relation import Relation
-from repro.engine.schema import RelationSchema, STRING
+from repro.engine.schema import INT, RelationSchema, STRING
+from repro.engine.tuples import Row
 from repro.engine.values import NULL
+
+
+def _cell_loaders(schema: RelationSchema) -> list:
+    """Per-column converters: the NULL convention plus int-domain coercion."""
+
+    def _string(cell: str):
+        return NULL if cell == "" else cell
+
+    def _int(cell: str):
+        if cell == "":
+            return NULL
+        try:
+            return int(cell)
+        except ValueError:
+            return cell  # defensively keep unparseable cells as-is
+
+    return [
+        _int if attribute.domain == INT else _string
+        for attribute in schema.attribute_objects
+    ]
+
+
+class CsvRowStream:
+    """Lazy, re-iterable row stream over a header-first CSV file.
+
+    Bulk ingestion (the batch repair engine, chunked loaders) must not
+    materialize a whole relation up front; this stream opens the file anew
+    on every iteration and yields one :class:`Row` at a time with the same
+    NULL convention as :func:`relation_from_csv`.  The schema is resolved
+    eagerly from the header (or checked against a supplied one) so callers
+    can build engines before touching the data.
+    """
+
+    def __init__(self, path, name: str = None, schema: RelationSchema = None):
+        self.path = Path(path)
+        with self.path.open(newline="", encoding="utf-8") as handle:
+            header = self._header_from(csv.reader(handle))
+        if schema is None:
+            schema = RelationSchema(
+                name or self.path.stem, [(h, STRING) for h in header]
+            )
+        self.schema = schema
+        self._check_header(header)
+
+    def _header_from(self, reader) -> list:
+        try:
+            return next(reader)
+        except StopIteration:
+            raise ValueError(f"{self.path} is empty (no header row)") from None
+
+    def _check_header(self, header) -> None:
+        if tuple(header) != self.schema.attributes:
+            raise ValueError(
+                f"CSV header {header} does not match schema attributes "
+                f"{list(self.schema.attributes)}"
+            )
+
+    def __iter__(self) -> Iterator[Row]:
+        schema = self.schema
+        loaders = _cell_loaders(schema)
+        with self.path.open(newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            # Re-validate the header: the file is reopened per iteration
+            # and may have been rewritten since construction.
+            self._check_header(self._header_from(reader))
+            for line_number, cells in enumerate(reader, start=2):
+                if len(cells) != len(schema):
+                    raise ValueError(
+                        f"{self.path}:{line_number}: expected {len(schema)} "
+                        f"cells, got {len(cells)}"
+                    )
+                yield Row(
+                    schema,
+                    [load(cell) for load, cell in zip(loaders, cells)],
+                )
+
+
+def stream_rows_from_csv(path, name: str = None,
+                         schema: RelationSchema = None) -> CsvRowStream:
+    """A :class:`CsvRowStream` over *path* (constant-memory ingestion)."""
+    return CsvRowStream(path, name=name, schema=schema)
 
 
 def relation_from_csv(path, name: str = None,
@@ -23,34 +108,13 @@ def relation_from_csv(path, name: str = None,
 
     Empty cells become ``NULL``.  When *schema* is given the header must
     match its attributes exactly; otherwise a string schema is derived from
-    the header.
+    the header.  This is the materializing counterpart of
+    :class:`CsvRowStream`, which it is built on.
     """
-    path = Path(path)
-    with path.open(newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path} is empty (no header row)") from None
-        if schema is None:
-            schema = RelationSchema(
-                name or path.stem, [(h, STRING) for h in header]
-            )
-        elif tuple(header) != schema.attributes:
-            raise ValueError(
-                f"CSV header {header} does not match schema attributes "
-                f"{list(schema.attributes)}"
-            )
-        relation = Relation(schema)
-        for line_number, cells in enumerate(reader, start=2):
-            if len(cells) != len(schema):
-                raise ValueError(
-                    f"{path}:{line_number}: expected {len(schema)} cells, "
-                    f"got {len(cells)}"
-                )
-            relation.insert(
-                [NULL if cell == "" else cell for cell in cells]
-            )
+    stream = CsvRowStream(path, name=name, schema=schema)
+    relation = Relation(stream.schema)
+    for row in stream:
+        relation.insert(row)
     return relation
 
 

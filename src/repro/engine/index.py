@@ -25,8 +25,24 @@ class HashIndex:
         self._buckets = buckets
 
     def get(self, key) -> list:
-        """Rows whose ``row[attrs]`` equals *key* (a tuple of values)."""
-        return self._buckets.get(tuple(key), [])
+        """Rows whose ``row[attrs]`` equals *key* (a tuple of values).
+
+        Returns a fresh list: callers may sort/filter/extend the result
+        without corrupting the index (the bucket itself is never exposed).
+        """
+        bucket = self._buckets.get(tuple(key))
+        return list(bucket) if bucket else []
+
+    def get_ref(self, key) -> list:
+        """No-copy variant of :meth:`get` for read-only hot paths.
+
+        On a hit the returned list aliases the internal bucket and MUST NOT
+        be mutated; the repair engines route every master probe through
+        here.  Misses return a fresh empty list, so accidental mutation of
+        a no-match result stays harmless.
+        """
+        bucket = self._buckets.get(tuple(key))
+        return bucket if bucket is not None else []
 
     def contains(self, key) -> bool:
         return tuple(key) in self._buckets

@@ -67,8 +67,12 @@ def combine_masters(
 
 
 def select_source(combined: Relation, source, source_attr: str = SOURCE_ID):
-    """``σ_id=i(Rm)``: the rows contributed by one source."""
-    return combined.lookup((source_attr,), (source,))
+    """``σ_id=i(Rm)``: the rows contributed by one source.
+
+    Returns a fresh list (public API — callers may sort/mutate it without
+    touching the combined relation's index buckets).
+    """
+    return combined.index_on((source_attr,)).get((source,))
 
 
 def guard_for(source, source_attr: str = SOURCE_ID) -> PatternTuple:

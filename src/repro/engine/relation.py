@@ -82,8 +82,13 @@ class Relation:
         return index
 
     def lookup(self, attrs: Iterable, key_values) -> list:
-        """Rows with ``row[attrs] == key_values`` via the hash index."""
-        return self.index_on(attrs).get(tuple(key_values))
+        """Rows with ``row[attrs] == key_values`` via the hash index.
+
+        Hot path for every master probe of the repair engines: the result
+        aliases the index bucket and must be treated as read-only.  Use
+        ``index_on(attrs).get(key)`` for a mutable copy.
+        """
+        return self.index_on(attrs).get_ref(tuple(key_values))
 
     def scan_lookup(self, attrs: Iterable, key_values) -> list:
         """Index-free variant of :meth:`lookup` (the ablation A2 baseline)."""

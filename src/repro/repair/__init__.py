@@ -12,10 +12,24 @@
 * :mod:`repro.repair.bdd` — the BDD suggestion cache behind Suggest⁺.
 * :mod:`repro.repair.certainfix` — algorithm CertainFix / CertainFix⁺
   (Fig. 3): the interactive driver gluing everything together.
+* :mod:`repro.repair.batch` — the bulk layer: shared caches,
+  validated-pattern memoization and chunked/concurrent streams.
 """
 
+from repro.repair.batch import (
+    BatchRepairEngine,
+    BatchReport,
+    BatchResult,
+    MemoStats,
+)
 from repro.repair.bdd import SuggestionCache
-from repro.repair.certainfix import CertainFix, FixSession, RoundLog
+from repro.repair.certainfix import (
+    CertainFix,
+    FixSession,
+    IncompleteFix,
+    RoundLog,
+    ValidationFailed,
+)
 from repro.repair.oracle import LyingUser, ScriptedUser, SimulatedUser
 from repro.repair.region_search import (
     CertainRegionCandidate,
@@ -26,12 +40,18 @@ from repro.repair.suggest import Suggestion, applicable_rules, suggest
 from repro.repair.transfix import MasterConflict, TransFixResult, transfix
 
 __all__ = [
+    "BatchRepairEngine",
+    "BatchReport",
+    "BatchResult",
     "CertainFix",
     "CertainRegionCandidate",
     "FixSession",
+    "IncompleteFix",
     "LyingUser",
     "MasterConflict",
+    "MemoStats",
     "RoundLog",
+    "ValidationFailed",
     "ScriptedUser",
     "SimulatedUser",
     "Suggestion",

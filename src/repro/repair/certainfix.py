@@ -103,6 +103,27 @@ class ValidationFailed(RuntimeError):
     """The user's assertions kept conflicting with the rules and master data."""
 
 
+class IncompleteFix(RuntimeError):
+    """A session exhausted ``max_rounds`` without validating every attribute.
+
+    Raised by :meth:`CertainFix.fix_stream` (and the batch engine) under the
+    ``on_incomplete="raise"`` policy; carries the truncated session so the
+    caller can inspect how far monitoring got.
+    """
+
+    def __init__(self, session: "FixSession", index: int = None):
+        missing = sorted(
+            set(session.final.schema.attributes) - set(session.validated)
+        )
+        position = f" (stream position {index})" if index is not None else ""
+        super().__init__(
+            f"monitoring stopped after {session.round_count} rounds with "
+            f"{missing} still unvalidated{position}"
+        )
+        self.session = session
+        self.index = index
+
+
 class CertainFix:
     """The interactive monitoring engine.
 
@@ -199,7 +220,7 @@ class CertainFix:
             certain=True,
             source="initial-region",
         )
-        cursor = self._cache.start() if self._cache is not None else None
+        cursor = self._start_cursor()
         all_attrs = set(self.schema.attributes)
 
         for round_index in range(1, self.max_rounds + 1):
@@ -211,10 +232,8 @@ class CertainFix:
                 sug_attrs = tuple(
                     a for a in self.schema.attributes if a not in validated
                 )
+            row_before = row
             values = oracle.assert_correct(row, sug_attrs)
-            corrected = tuple(
-                a for a, v in values.items() if row[a] != v
-            )
             row = row.with_values(values)
             asserted = frozenset(values)
             revisions = 0
@@ -233,10 +252,14 @@ class CertainFix:
                     row = row.with_values(values)
                     asserted = asserted | frozenset(values)
 
-            validated = validated | asserted
-            result = transfix(
-                row, validated, self.rules, self.master, self.graph
+            # Compare against the row as it stood when the round began, so
+            # values changed during revision rounds count as corrections too
+            # (Fig. 10/11 metrics must not credit them to the rules).
+            corrected = tuple(
+                sorted(a for a in asserted if row[a] != row_before[a])
             )
+            validated = validated | asserted
+            result = self._transfix(row, validated)
             row = result.row
             validated = result.validated
 
@@ -246,18 +269,7 @@ class CertainFix:
                 # Generating the next suggestion is part of this round's
                 # latency (Fig. 12 measures "the time spent on fixing tuples
                 # ... and for generating a suggestion").
-                if cursor is not None:
-                    suggestion = cursor.next_suggestion(row, validated)
-                else:
-                    suggestion = suggest(
-                        self.rules,
-                        self.master,
-                        self.schema,
-                        row,
-                        validated,
-                        pattern_cache=self._pattern_cache,
-                        validate_patterns=self.suggest_validate_patterns,
-                    )
+                suggestion = self._next_suggestion(cursor, row, validated)
 
             session.rounds.append(
                 RoundLog(
@@ -282,12 +294,50 @@ class CertainFix:
         session.validated = validated
         return session
 
+    # -- overridable hot-path hooks (the batch engine memoizes these) ----------
+
     def _unique(self, row: Row, validated: frozenset) -> bool:
         outcome = chase(row, validated, self.rules, self.master)
         return outcome.unique
 
+    def _transfix(self, row: Row, validated: frozenset):
+        return transfix(row, validated, self.rules, self.master, self.graph)
+
+    def _start_cursor(self):
+        return self._cache.start() if self._cache is not None else None
+
+    def _next_suggestion(self, cursor, row: Row, validated: frozenset) -> Suggestion:
+        if cursor is not None:
+            return cursor.next_suggestion(row, validated)
+        return suggest(
+            self.rules,
+            self.master,
+            self.schema,
+            row,
+            validated,
+            pattern_cache=self._pattern_cache,
+            validate_patterns=self.suggest_validate_patterns,
+        )
+
     # -- stream helper ----------------------------------------------------------
 
-    def fix_stream(self, pairs) -> list:
-        """Monitor a sequence of ``(dirty_row, oracle)`` pairs."""
-        return [self.fix(row, oracle) for row, oracle in pairs]
+    def fix_stream(self, pairs, on_incomplete: str = "keep") -> list:
+        """Monitor a sequence of ``(dirty_row, oracle)`` pairs.
+
+        ``on_incomplete`` decides what happens when a session exhausts
+        ``max_rounds`` without validating every attribute: ``"keep"`` returns
+        the truncated session in place (``session.completed`` is False),
+        ``"raise"`` surfaces it as :class:`IncompleteFix`.
+        """
+        if on_incomplete not in ("keep", "raise"):
+            raise ValueError(
+                f"on_incomplete must be 'keep' or 'raise', "
+                f"got {on_incomplete!r}"
+            )
+        sessions = []
+        for index, (row, oracle) in enumerate(pairs):
+            session = self.fix(row, oracle)
+            if not session.completed and on_incomplete == "raise":
+                raise IncompleteFix(session, index=index)
+            sessions.append(session)
+        return sessions

@@ -114,6 +114,58 @@ def test_lying_user_triggers_revision(hosp):
     assert session.completed
 
 
+def test_corrections_during_revision_are_counted():
+    """Regression: values changed inside the revision loop (oracle.revise)
+    must land in RoundLog.corrected_by_user — they used to be computed from
+    the first assert_correct call only, so a lie that was later revised
+    looked like the rules had done the correcting."""
+    from repro.core.regions import Region
+    from repro.core.rules import EditingRule
+    from repro.engine.relation import Relation
+    from repro.engine.schema import INT, RelationSchema
+    from repro.engine.tuples import Row
+    from repro.repair.region_search import CertainRegionCandidate
+
+    schema = RelationSchema("R", [(a, INT) for a in "abc"])
+    master = Relation(RelationSchema("Rm", [(a, INT) for a in "wxy"]),
+                      [(1, 5, 7), (2, 5, 8)])
+    rules = [
+        EditingRule(("a",), ("w",), "c", "y", name="r1"),
+        EditingRule(("b",), ("x",), "c", "y", name="r2"),
+    ]
+    region = CertainRegionCandidate(
+        region=Region(("a", "b")), quality=1.0,
+        patterns_checked=1, patterns_valid=1,
+    )
+    engine = CertainFix(rules, master, schema, regions=[region])
+
+    clean = Row(schema, [1, 6, 7])
+    dirty = Row(schema, [1, 5, 0])
+    # Round 1 asserts the dirty (a, b) as-is; b = 5 reaches master tuples
+    # that disagree on y (7 vs 8), the unique-fix check rejects it, and the
+    # truthful revision changes b to 6.
+    oracle = LyingUser(clean, lie_rounds=1)
+    session = engine.fix(dirty, oracle)
+
+    assert session.completed
+    assert session.final == clean
+    assert session.rounds[0].revisions == 1
+    assert session.rounds[0].corrected_by_user == ("b",)
+    assert session.attrs_corrected_by_user == {"b"}
+    # The rules only fixed c; they must not be credited with b.
+    assert session.attrs_fixed_by_rules == {"c"}
+
+
+def test_corrected_by_user_without_revisions(hosp, hosp_engine):
+    """The non-revision path still reports exactly the changed assertions."""
+    data = make_dirty_dataset(hosp, size=15, duplicate_rate=0.5,
+                              noise_rate=0.4, seed=9)
+    for dirty_tuple in data:
+        oracle = SimulatedUser(dirty_tuple.clean)
+        session = hosp_engine.fix(dirty_tuple.dirty, oracle)
+        assert session.attrs_corrected_by_user == oracle.corrected
+
+
 def test_validation_failed_after_persistent_lies(example):
     """Example 5's conflict, insisted on: asserting t3's AC, phn, type AND
     zip as all-correct contradicts master data (Edi vs Lnd for city), the

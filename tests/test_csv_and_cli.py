@@ -5,7 +5,11 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.engine.csvio import relation_from_csv, relation_to_csv
+from repro.engine.csvio import (
+    relation_from_csv,
+    relation_to_csv,
+    stream_rows_from_csv,
+)
 from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
 from repro.engine.values import NULL
@@ -52,6 +56,173 @@ def test_csv_empty_file_rejected(tmp_path):
     path.write_text("", encoding="utf-8")
     with pytest.raises(ValueError, match="no header"):
         relation_from_csv(path)
+
+
+def test_csv_typed_schema_roundtrips_ints(tmp_path, hosp):
+    """With a typed schema, int-domain cells load back as ints, so a CSV
+    round trip composes with in-memory masters (87, not \"87\")."""
+    path = tmp_path / "master.csv"
+    relation_to_csv(hosp.master, path)
+    back = relation_from_csv(path, schema=hosp.schema)
+    assert [row.values for row in back] == [row.values for row in hosp.master]
+    assert isinstance(back.first()["Score"], int)
+    streamed = list(stream_rows_from_csv(path, schema=hosp.schema))
+    assert [row.values for row in streamed] == [
+        row.values for row in hosp.master
+    ]
+
+
+def test_csv_unparseable_int_cell_stays_string(tmp_path):
+    from repro.engine.schema import INT, STRING
+
+    schema = RelationSchema("t", [("a", STRING), ("n", INT)])
+    path = tmp_path / "t.csv"
+    path.write_text("a,n\nx,12\ny,oops\nz,\n", encoding="utf-8")
+    rows = relation_from_csv(path, schema=schema).rows
+    assert rows[0]["n"] == 12
+    assert rows[1]["n"] == "oops"
+    assert rows[2]["n"] is NULL
+
+
+def test_csv_row_stream(tmp_path, small_relation):
+    path = tmp_path / "people.csv"
+    relation_to_csv(small_relation, path)
+    stream = stream_rows_from_csv(path)
+    assert stream.schema.attributes == small_relation.schema.attributes
+    assert [row.values for row in stream] == [
+        row.values for row in small_relation
+    ]
+    # Re-iterable: a second pass reopens the file.
+    assert len(list(stream)) == len(small_relation)
+    assert list(stream)[1]["zip"] is NULL
+
+
+def test_csv_row_stream_validates_eagerly(tmp_path, small_relation):
+    path = tmp_path / "people.csv"
+    relation_to_csv(small_relation, path)
+    other = RelationSchema("other", ["a", "b"])
+    with pytest.raises(ValueError, match="does not match"):
+        stream_rows_from_csv(path, schema=other)
+    empty = tmp_path / "empty.csv"
+    empty.write_text("", encoding="utf-8")
+    with pytest.raises(ValueError, match="no header"):
+        stream_rows_from_csv(empty)
+    ragged = tmp_path / "ragged.csv"
+    ragged.write_text("a,b\n1\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="expected 2 cells"):
+        list(stream_rows_from_csv(ragged))
+
+
+def test_cli_batch_repair(tmp_path, capsys, hosp):
+    from repro.datasets import make_dirty_dataset
+
+    master_csv = tmp_path / "master.csv"
+    relation_to_csv(hosp.master, master_csv)
+    rules_json = tmp_path / "rules.json"
+    rules_json.write_text(rule_io.dumps(hosp.rules) + "\n")
+
+    data = make_dirty_dataset(hosp, size=12, duplicate_rate=0.4,
+                              noise_rate=0.2, seed=5)
+    dirty_csv = tmp_path / "dirty.csv"
+    clean_csv = tmp_path / "clean.csv"
+    relation_to_csv(Relation(hosp.schema, (dt.dirty for dt in data)),
+                    dirty_csv)
+    relation_to_csv(Relation(hosp.schema, (dt.clean for dt in data)),
+                    clean_csv)
+
+    fixed_csv = tmp_path / "fixed.csv"
+    report_json = tmp_path / "report.json"
+    assert main([
+        "batch-repair",
+        "--rules", str(rules_json), "--master", str(master_csv),
+        "--input", str(dirty_csv), "--clean", str(clean_csv),
+        "--output", str(fixed_csv), "--report", str(report_json),
+        "--chunk-size", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tuples/s" in out
+
+    report = json.loads(report_json.read_text())
+    assert report["tuples"] == 12
+    assert report["incomplete"] == 0
+    assert report["throughput_tps"] > 0
+
+    fixed = relation_from_csv(fixed_csv)
+    clean = relation_from_csv(clean_csv)
+    assert [row.values for row in fixed] == [row.values for row in clean]
+
+
+def test_cli_batch_repair_incomplete_raise_is_clean(tmp_path, capsys, hosp):
+    """--on-incomplete raise reports a readable error + exit 2, never a
+    traceback."""
+    from repro.datasets import make_dirty_dataset
+
+    master_csv = tmp_path / "master.csv"
+    relation_to_csv(hosp.master, master_csv)
+    rules_json = tmp_path / "rules.json"
+    rules_json.write_text(rule_io.dumps(hosp.rules) + "\n")
+    data = make_dirty_dataset(hosp, size=6, duplicate_rate=0.0,
+                              noise_rate=0.3, seed=5)
+    dirty_csv = tmp_path / "dirty.csv"
+    clean_csv = tmp_path / "clean.csv"
+    relation_to_csv(Relation(hosp.schema, (dt.dirty for dt in data)),
+                    dirty_csv)
+    relation_to_csv(Relation(hosp.schema, (dt.clean for dt in data)),
+                    clean_csv)
+
+    code = main([
+        "batch-repair",
+        "--rules", str(rules_json), "--master", str(master_csv),
+        "--input", str(dirty_csv), "--clean", str(clean_csv),
+        "--max-rounds", "1", "--on-incomplete", "raise",
+    ])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "monitoring stopped after 1 rounds" in captured.err
+    assert "hint:" in captured.err
+
+
+def test_csv_row_stream_detects_rewritten_file(tmp_path, small_relation):
+    """The stream reopens the file per iteration; a rewrite with a
+    different header must fail loudly, not bind rows to a stale schema."""
+    path = tmp_path / "people.csv"
+    relation_to_csv(small_relation, path)
+    stream = stream_rows_from_csv(path)
+    assert len(list(stream)) == 2
+    path.write_text("other,columns\n1,2\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="does not match"):
+        list(stream)
+    path.write_text("", encoding="utf-8")
+    with pytest.raises(ValueError, match="no header"):
+        list(stream)
+
+
+def test_cli_batch_repair_bad_inputs_are_clean_errors(tmp_path, capsys, hosp):
+    """Malformed --master/--rules/--clean all yield `error: ...` + exit 2,
+    never a traceback."""
+    master_csv = tmp_path / "master.csv"
+    relation_to_csv(hosp.master, master_csv)
+    rules_json = tmp_path / "rules.json"
+    rules_json.write_text(rule_io.dumps(hosp.rules) + "\n")
+    dirty_csv = tmp_path / "dirty.csv"
+    relation_to_csv(Relation(hosp.schema, [hosp.master.first()]), dirty_csv)
+
+    ragged = tmp_path / "ragged.csv"
+    ragged.write_text("a,b\n1\n", encoding="utf-8")
+    bad_rules = tmp_path / "bad.json"
+    bad_rules.write_text("not json", encoding="utf-8")
+
+    for argv in (
+        ["--rules", str(rules_json), "--master", str(ragged),
+         "--input", str(dirty_csv), "--clean", str(dirty_csv)],
+        ["--rules", str(bad_rules), "--master", str(master_csv),
+         "--input", str(dirty_csv), "--clean", str(dirty_csv)],
+        ["--rules", str(rules_json), "--master", str(master_csv),
+         "--input", str(dirty_csv), "--clean", str(ragged)],
+    ):
+        assert main(["batch-repair", *argv]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
 
 
 def test_cli_demo(capsys):

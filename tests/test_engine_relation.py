@@ -38,6 +38,50 @@ def test_index_updated_on_insert(rel):
     assert len(index.get((1,))) == 3
 
 
+def test_index_get_returns_a_copy(rel):
+    """Regression: HashIndex.get used to hand out the internal bucket, so a
+    caller mutating its 'result' silently corrupted the index."""
+    index = rel.index_on(["a"])
+    rows = index.get((1,))
+    rows.clear()
+    rows.append("junk")
+    assert len(index.get((1,))) == 2          # bucket untouched
+    assert "junk" not in index.get((1,))
+    # Misses are fresh, mutable lists too.
+    miss = index.get((999,))
+    miss.append("junk")
+    assert index.get((999,)) == []
+
+
+def test_index_get_ref_aliases_bucket(rel):
+    """The internal no-copy accessor (hot path) sees inserts immediately
+    without re-probing."""
+    index = rel.index_on(["a"])
+    ref = index.get_ref((1,))
+    assert len(ref) == 2
+    rel.insert([1, "w"])
+    assert len(ref) == 3                      # same underlying bucket
+    assert index.get_ref((999,)) == []
+    # Misses are fresh lists: mutating one never leaks into later probes.
+    miss = index.get_ref((999,))
+    miss.append("junk")
+    assert index.get_ref((999,)) == []
+    assert rel.lookup(["a"], (999,)) == []
+
+
+def test_mutating_lookup_result_does_not_break_repairs(hosp):
+    """End-to-end aliasing regression: sorting a public get() result must
+    not change what the repair hot path later reads."""
+    rule = hosp.rules[0]
+    index = hosp.master.index_on(rule.lhs_m)
+    key = hosp.master.first()[rule.lhs_m]
+    before = list(hosp.master.lookup(rule.lhs_m, key))
+    victim = index.get(key)
+    victim.reverse()
+    victim.pop()
+    assert list(hosp.master.lookup(rule.lhs_m, key)) == before
+
+
 def test_index_with_repeated_columns(rel):
     rows = rel.lookup(["a", "a"], (1, 1))
     assert len(rows) == 2

@@ -49,6 +49,15 @@ def test_select_source_recovers_instances(combined, sources):
     assert {r["city"] for r in rows} == {"Edinburgh", "London"}
 
 
+def test_select_source_result_is_mutation_safe(combined, sources):
+    """Public API: mutating the returned list must not corrupt the
+    combined relation's index buckets (aliasing regression)."""
+    rows = select_source(combined, "persons")
+    rows.clear()
+    again = select_source(combined, "persons")
+    assert len(again) == len(sources["persons"])
+
+
 def test_missing_attributes_become_null():
     left = Relation(RelationSchema("L", ["k", "only_left"]))
     left.insert([1, "x"])

@@ -1,14 +1,16 @@
 """Procedure TransFix (Fig. 5) and its ablation variants."""
 
+import random
+
 import pytest
 
 from repro.analysis.dependency_graph import DependencyGraph
-from repro.core.patterns import PatternTuple
+from repro.core.patterns import PatternTuple, neq
 from repro.core.rules import EditingRule
 from repro.engine.relation import Relation
 from repro.engine.schema import INT, RelationSchema
 from repro.engine.tuples import Row
-from repro.engine.values import NULL
+from repro.engine.values import NULL, UNKNOWN
 from repro.repair.transfix import MasterConflict, transfix, transfix_naive
 
 
@@ -121,6 +123,81 @@ def test_transfix_scan_equals_index():
     indexed = transfix(t, {"a"}, rules, master, use_index=True)
     scanned = transfix(t, {"a"}, rules, master, use_index=False)
     assert indexed.row == scanned.row
+
+
+def _assert_equivalent(t, validated, rules, master):
+    """transfix and transfix_naive agree on outcome or on the conflict."""
+    outcomes = []
+    for fn in (transfix, transfix_naive):
+        try:
+            outcomes.append(("ok", fn(t, validated, rules, master)))
+        except MasterConflict:
+            outcomes.append(("conflict", None))
+    (k1, r1), (k2, r2) = outcomes
+    assert k1 == k2
+    if k1 == "ok":
+        assert r1.row == r2.row
+        assert r1.validated == r2.validated
+        assert set(r1.fixed_attrs) == set(r2.fixed_attrs)
+
+
+def test_transfix_equals_naive_under_master_guard():
+    """Guards filter master matches identically on both paths: the
+    disagreeing master tuple is invisible, so no conflict and the guarded
+    value is used."""
+    r, master, rules = _setup(
+        [(1, 2, 3, 4), (1, 9, 0, 4)],       # both match key w=1
+        [(("a",), ("w",), "b", "x", None)],
+    )
+    rules[0].master_guard = PatternTuple({"y": neq(0)})
+    _assert_equivalent(Row(r, [1, 0, 0, 0]), {"a"}, rules, master)
+    result = transfix(Row(r, [1, 0, 0, 0]), {"a"}, rules, master)
+    assert result.row["b"] == 2             # the y=0 tuple was filtered
+
+    # A guard nothing satisfies: the rule never fires on either path.
+    rules[0].master_guard = PatternTuple({"z": 99})
+    _assert_equivalent(Row(r, [1, 0, 0, 0]), {"a"}, rules, master)
+    assert transfix(Row(r, [1, 0, 0, 0]), {"a"}, rules, master).applied == []
+
+
+def test_transfix_equals_naive_with_unknown_keys():
+    """UNKNOWN key values block master probes on both paths, including
+    mid-chain (a fixed attribute un-blocks its dependents identically)."""
+    r, master, rules = _setup([(1, 2, 3, 4)], CHAIN)
+    for values, validated in [
+        ([UNKNOWN, 0, 0, 0], {"a"}),
+        ([1, UNKNOWN, 0, 0], {"a", "b"}),     # b validated but UNKNOWN
+        ([UNKNOWN, 2, UNKNOWN, 0], {"b"}),    # chain resumes from b
+    ]:
+        _assert_equivalent(Row(r, values), validated, rules, master)
+    blocked = transfix(Row(r, [UNKNOWN, 0, 0, 0]), {"a"}, rules, master)
+    assert blocked.applied == []
+    resumed = transfix(Row(r, [UNKNOWN, 2, UNKNOWN, 0]), {"b"}, rules, master)
+    assert resumed.row["c"] == 3 and resumed.row["d"] == 4
+
+
+def test_transfix_equals_naive_randomized(hosp):
+    """Fuzzed equivalence on HOSP: corrupted tuples with NULL/UNKNOWN
+    injections and random validated sets (guards model ``≠ NULL``)."""
+    rng = random.Random(20100713)
+    attrs = hosp.schema.attributes
+    rows = hosp.master.rows
+    for _ in range(25):
+        base = rows[rng.randrange(len(rows))]
+        values = {a: base[a] for a in attrs}
+        for a in attrs:
+            roll = rng.random()
+            if roll < 0.12:
+                values[a] = NULL
+            elif roll < 0.2:
+                values[a] = UNKNOWN
+            elif roll < 0.3:
+                donor = rows[rng.randrange(len(rows))]
+                values[a] = donor[a]
+        validated = {a for a in attrs if rng.random() < 0.4}
+        _assert_equivalent(
+            Row(hosp.schema, values), validated, hosp.rules, hosp.master
+        )
 
 
 def test_transfix_example12_trace(example):
