@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench example
+.PHONY: test smoke bench bench-store example
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,12 @@ smoke:
 # Full-scale throughput trajectory (the committed BENCH_batch.json).
 bench:
 	$(PYTHON) benchmarks/bench_batch_throughput.py
+
+# Master-store backends: memory vs sqlite throughput plus the cost of an
+# incremental master update invalidating the shared caches; asserts both
+# backends fix identically and regenerates the committed BENCH_store.json.
+bench-store:
+	$(PYTHON) benchmarks/bench_store.py
 
 example:
 	$(PYTHON) examples/batch_throughput.py

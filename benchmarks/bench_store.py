@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""MasterStore backends: memory vs sqlite throughput, and invalidation cost.
+
+Seeds ``BENCH_store.json``.  Three questions, per dataset:
+
+1. **backend throughput** — the same batch workload through
+   :class:`~repro.engine.store.InMemoryStore` (hash indexes in RAM) and
+   :class:`~repro.engine.store.SqliteStore` (out-of-core indexed tables
+   behind an LRU probe cache), outputs asserted identical;
+2. **warm-cache rerun** — the same workload again on warmed shared caches
+   (the steady state of a monitoring service);
+3. **post-update rerun** — one master insert between runs bumps the store
+   version, so the rerun first rebuilds regions/BDD/memos; the gap between
+   (2) and (3) is the price of an incremental master update.
+
+Run:  PYTHONPATH=src python benchmarks/bench_store.py [--quick]
+
+Not a pytest module on purpose: a standalone perf harness whose output
+file downstream sessions diff against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.engine.store import SqliteStore, as_master_store
+from repro.experiments.config import ExperimentConfig, load_workload
+from repro.repair.batch import BatchRepairEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(engine, data) -> tuple:
+    started = time.perf_counter()
+    result = engine.run_dirty(data)
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def _throughput(count: int, elapsed: float) -> float:
+    return round(count / elapsed, 2) if elapsed > 0 else 0.0
+
+
+def _fresh_master_row(bundle):
+    """A master tuple with an unseen key, to force real invalidation."""
+    donor = bundle.master.row_at(0)
+    first_attr = bundle.master.schema.attributes[0]
+    return donor.with_values({first_attr: "bench-store-fresh-key"})
+
+
+def bench_dataset(dataset: str, scale: dict) -> dict:
+    config = ExperimentConfig(dataset=dataset, **scale)
+    bundle, data = load_workload(config)
+    print(f"[{dataset}] |Dm|={len(bundle.master)}  |D|={len(data)}")
+
+    backends = {
+        "memory": as_master_store(bundle.master),
+        "sqlite": SqliteStore.from_relation(bundle.master),
+    }
+    out: dict = {
+        "master_size": len(bundle.master),
+        "input_size": len(data),
+        "backends": {},
+    }
+    finals = {}
+    for name, store in backends.items():
+        setup_started = time.perf_counter()
+        engine = BatchRepairEngine(bundle.rules, store, bundle.schema)
+        setup = time.perf_counter() - setup_started
+
+        cold, cold_s = _run(engine, data)
+        warm, warm_s = _run(engine, data)
+
+        store.insert(_fresh_master_row(bundle))
+        updated, updated_s = _run(engine, data)
+        assert updated.report.cache_invalidations == 1, (
+            f"{name}: master insert did not invalidate the shared caches"
+        )
+
+        finals[name] = [s.final for s in cold.sessions]
+        entry = {
+            "setup_s": round(setup, 4),
+            "cold_run": {
+                "elapsed_s": round(cold_s, 4),
+                "throughput_tps": _throughput(len(data), cold_s),
+            },
+            "warm_cache_run": {
+                "elapsed_s": round(warm_s, 4),
+                "throughput_tps": _throughput(len(data), warm_s),
+            },
+            "post_update_run": {
+                "elapsed_s": round(updated_s, 4),
+                "throughput_tps": _throughput(len(data), updated_s),
+                "cache_invalidations": updated.report.cache_invalidations,
+            },
+            "invalidation_overhead_s": round(max(updated_s - warm_s, 0.0), 4),
+            "master_version_final": store.version,
+        }
+        if hasattr(store, "probe_cache_info"):
+            entry["probe_cache"] = store.probe_cache_info()
+        out["backends"][name] = entry
+        print(f"  {name:6s}: cold {entry['cold_run']['throughput_tps']:8.1f} "
+              f"tps  warm {entry['warm_cache_run']['throughput_tps']:8.1f} "
+              f"tps  post-update "
+              f"{entry['post_update_run']['throughput_tps']:8.1f} tps")
+
+    assert finals["memory"] == finals["sqlite"], (
+        "backend outputs diverged — memory and sqlite must fix identically"
+    )
+    mem = out["backends"]["memory"]["cold_run"]["throughput_tps"]
+    sql = out["backends"]["sqlite"]["cold_run"]["throughput_tps"]
+    out["sqlite_relative_throughput"] = round(sql / mem, 3) if mem else 0.0
+    print(f"  outputs identical; sqlite at "
+          f"{out['sqlite_relative_throughput']:.0%} of memory throughput")
+    return out
+
+
+def run(quick: bool, output: Path) -> dict:
+    scale = (
+        {"master_size": 600, "input_size": 100}
+        if quick
+        else {"master_size": 1500, "input_size": 200}
+    )
+    results = {
+        dataset: bench_dataset(dataset, scale) for dataset in ("hosp", "dblp")
+    }
+    payload = {
+        "benchmark": "master_store_backends",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "results": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke scale (|Dm|~600, |D|=100)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_store.json")
+    args = parser.parse_args(argv)
+    run(args.quick, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

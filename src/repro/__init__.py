@@ -32,12 +32,16 @@ from repro.engine import (
     Attribute,
     Domain,
     INT,
+    InMemoryStore,
+    MasterStore,
     NULL,
     Relation,
     RelationSchema,
     Row,
     STRING,
+    SqliteStore,
     UNKNOWN,
+    as_master_store,
     finite_domain,
     natural_join,
 )
@@ -118,8 +122,10 @@ __all__ = [
     "FD",
     "FixSession",
     "INT",
+    "InMemoryStore",
     "IncRep",
     "IncompleteFix",
+    "MasterStore",
     "NULL",
     "NotConst",
     "PatternTableau",
@@ -130,9 +136,11 @@ __all__ = [
     "Row",
     "STRING",
     "SimulatedUser",
+    "SqliteStore",
     "UNKNOWN",
     "Wildcard",
     "aggregate",
+    "as_master_store",
     "cfds_from_rules",
     "chase",
     "check_region",

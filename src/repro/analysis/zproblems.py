@@ -86,9 +86,11 @@ def master_projected_patterns(
 
     seen = set()
     out = []
-    rows = master.rows
+    # No-copy sweep: masters may be large (or out-of-core stores); never
+    # materialize the row list just to walk a prefix of it.
+    rows = iter(master)
     if max_rows is not None:
-        rows = rows[:max_rows]
+        rows = itertools.islice(rows, max_rows)
     for tm in rows:
         option_lists = []
         for attr in z:

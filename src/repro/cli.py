@@ -75,12 +75,35 @@ def _cmd_mine(args) -> int:
     return 0
 
 
+def _load_master_store(args):
+    """Build the master backend the user asked for.
+
+    ``memory`` materializes the CSV as a Relation behind an
+    :class:`~repro.engine.store.InMemoryStore`; ``sqlite`` streams it
+    straight into a :class:`~repro.engine.store.SqliteStore` (on disk when
+    ``--sqlite-path`` is given, else a private in-memory database), so the
+    master never has to fit in RAM.
+    """
+    if args.master_backend == "sqlite":
+        from repro.engine.csvio import stream_rows_from_csv
+        from repro.engine.store import SqliteStore
+
+        stream = stream_rows_from_csv(args.master)
+        # fresh=True: the CSV is the source of truth; re-running against an
+        # existing --sqlite-path must rebuild, not append to, the table.
+        return SqliteStore(
+            stream.schema, stream, path=args.sqlite_path, fresh=True
+        )
+    return relation_from_csv(args.master)
+
+
 def _cmd_batch_repair(args) -> int:
+    from repro.engine.store import as_master_store
     from repro.repair.batch import BatchRepairEngine
     from repro.repair.certainfix import IncompleteFix, ValidationFailed
 
     try:
-        master = relation_from_csv(args.master)
+        master = as_master_store(_load_master_store(args))
         with open(args.rules, encoding="utf-8") as handle:
             rules = rule_io.loads(handle.read())
         engine = BatchRepairEngine(
@@ -167,6 +190,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--output", help="repaired rows CSV to write")
     batch.add_argument("--report", help="JSON throughput report to write")
+    batch.add_argument(
+        "--master-backend", choices=("memory", "sqlite"), default="memory",
+        help="master-data backend: 'memory' (Relation + hash indexes) or "
+             "'sqlite' (out-of-core indexed tables with an LRU probe cache)",
+    )
+    batch.add_argument(
+        "--sqlite-path",
+        help="with --master-backend sqlite: database file to use "
+             "(default: private in-memory database)",
+    )
     batch.add_argument("--chunk-size", type=int, default=256)
     batch.add_argument("--concurrency", type=int, default=1)
     batch.add_argument("--max-rounds", type=int, default=12)

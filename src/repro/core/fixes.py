@@ -24,7 +24,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.regions import Region
 from repro.core.rules import EditingRule
-from repro.engine.relation import Relation
+from repro.engine.store import as_master_store
 from repro.engine.tuples import Row
 from repro.engine.values import UNKNOWN
 
@@ -121,13 +121,16 @@ def applicable_pairs(
     assignment: Mapping,
     validated: frozenset,
     rules: Iterable,
-    master: Relation,
+    master,
 ) -> Iterator:
     """Yield ``(φ, tm)`` pairs applicable under the region semantics.
 
     Requires ``X ∪ Xp ⊆ validated``, ``B ∉ validated``, ``t[Xp] ≈ tp`` and
     ``t[X] = tm[Xm]`` — conditions (1)–(3) of ``t →((Z,Tc),φ,tm) t'``.
+    *master* is a :class:`~repro.engine.store.MasterStore` or a plain
+    relation (adapted on entry).
     """
+    master = as_master_store(master)
     for rule in rules:
         if not rule.premise_attrs <= validated:
             continue
@@ -138,7 +141,7 @@ def applicable_pairs(
         key = tuple(assignment[a] for a in rule.lhs)
         if any(v is UNKNOWN for v in key):
             continue
-        for tm in master.lookup(rule.lhs_m, key):
+        for tm in master.probe(rule.lhs_m, key):
             if rule.master_guard.matches(tm):
                 yield rule, tm
 
@@ -178,7 +181,7 @@ def chase(
     t,
     z0: Iterable,
     rules: Sequence,
-    master: Relation,
+    master,
 ) -> ChaseOutcome:
     """Chase one start point and decide unique-fix existence.
 
@@ -191,8 +194,11 @@ def chase(
         The initially validated attributes (the region's ``Z``); the caller
         has already checked that ``t`` is marked by the region.
     rules, master:
-        The rule set Σ and master relation ``Dm``.
+        The rule set Σ and the master data ``Dm`` — a
+        :class:`~repro.engine.store.MasterStore` or a plain relation
+        (adapted on entry); every master access is a keyed ``probe``.
     """
+    master = as_master_store(master)
     rules = list(rules)
     zb = frozenset(z0)
     all_attrs = set(zb)
@@ -230,7 +236,7 @@ def chase(
             if any(v is UNKNOWN for v in key):
                 exhausted[i] = True
                 continue
-            matches = master.lookup(rule.lhs_m, key)
+            matches = master.probe(rule.lhs_m, key)
             exhausted[i] = True
             for tm in matches:
                 if not rule.master_guard.matches(tm):
@@ -278,7 +284,7 @@ def chase(
         key = tuple(assignment[a] for a in rule.lhs)
         if any(v is UNKNOWN for v in key):
             continue
-        for tm in master.lookup(rule.lhs_m, key):
+        for tm in master.probe(rule.lhs_m, key):
             if not rule.master_guard.matches(tm):
                 continue
             value = tm[rule.rhs_m]
@@ -350,7 +356,7 @@ def fix_sequence(t: Row, region: Region, steps: Iterable):
     return current, reg
 
 
-def is_fixpoint(t: Row, region: Region, rules: Iterable, master: Relation) -> bool:
+def is_fixpoint(t: Row, region: Region, rules: Iterable, master) -> bool:
     """Condition (2) of the fix definition: no pair ``(φ, tm)`` applies.
 
     Note the quantification: the sequence is maximal only when *no* pair is

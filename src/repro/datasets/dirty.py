@@ -96,7 +96,7 @@ def _corrupt(value, attr: str, master: Relation, rng: random.Random):
         if roll < 0.5:
             candidate = _typo(value, rng)
         elif roll < 0.8 and len(master) > 0:
-            donor = master.rows[rng.randrange(len(master))]
+            donor = master.row_at(rng.randrange(len(master)))
             candidate = donor[attr]
         else:
             candidate = NULL
@@ -130,7 +130,7 @@ def make_dirty_dataset(
     for _ in range(size):
         is_master = rng.random() < duplicate_rate and len(master) > 0
         if is_master:
-            source = master.rows[rng.randrange(len(master))]
+            source = master.row_at(rng.randrange(len(master)))
             clean = Row(schema, {a: source[a] for a in schema.attributes})
         else:
             clean = dataset.entity_factory(rng)

@@ -28,6 +28,12 @@ from repro.engine.multi import (
 )
 from repro.engine.query import equi_join, natural_join, project, rename, select
 from repro.engine.relation import Relation
+from repro.engine.store import (
+    InMemoryStore,
+    MasterStore,
+    SqliteStore,
+    as_master_store,
+)
 from repro.engine.schema import (
     Attribute,
     Domain,
@@ -45,13 +51,17 @@ __all__ = [
     "Domain",
     "HashIndex",
     "INT",
+    "InMemoryStore",
+    "MasterStore",
     "NULL",
     "Relation",
     "RelationSchema",
     "Row",
     "SOURCE_ID",
     "STRING",
+    "SqliteStore",
     "UNKNOWN",
+    "as_master_store",
     "combine_masters",
     "equi_join",
     "finite_domain",

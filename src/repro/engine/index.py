@@ -57,5 +57,23 @@ class HashIndex:
         """Insert *row* into the index (used by incremental relation loads)."""
         self._buckets.setdefault(row[self.attrs], []).append(row)
 
+    def remove(self, row) -> bool:
+        """Remove one occurrence of *row*; True iff something was removed.
+
+        Empty buckets are dropped so ``contains`` stays accurate after
+        master-store deletions.
+        """
+        key = row[self.attrs]
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return False
+        try:
+            bucket.remove(row)
+        except ValueError:
+            return False
+        if not bucket:
+            del self._buckets[key]
+        return True
+
     def __repr__(self) -> str:
         return f"HashIndex(on={list(self.attrs)}, keys={len(self._buckets)})"

@@ -1,9 +1,13 @@
 """Relation instances: a schema plus a bag of rows, with cached hash indexes.
 
 The master relation ``Dm`` of the paper is a :class:`Relation`; so are the
-base tables the HOSP dataset is joined from.  Relations are append-only
-(``insert``); all algebraic operations return new relations, which keeps the
-semantics of the analyses (which treat ``Dm`` as fixed) honest.
+base tables the HOSP dataset is joined from.  Algebraic operations return
+new relations, which keeps the semantics of the analyses (which treat ``Dm``
+as fixed for the duration of one computation) honest.  In-place mutation is
+limited to ``insert`` / ``delete``, both of which keep the cached hash
+indexes consistent and bump :attr:`mutation_count` — the signal
+:class:`repro.engine.store.InMemoryStore` exposes as its ``version`` so the
+repair layer's shared caches can notice incremental master updates.
 """
 
 from __future__ import annotations
@@ -22,6 +26,8 @@ class Relation:
         self.schema = schema
         self._rows: list = []
         self._indexes: dict = {}
+        self._mutations = 0
+        self._store_wrapper = None  # cached InMemoryStore (engine.store)
         for row in rows:
             self.insert(row)
 
@@ -41,14 +47,51 @@ class Relation:
                 f"schema {self.schema.name!r}"
             )
         self._rows.append(row)
+        self._mutations += 1
         for index in self._indexes.values():
             index.add(row)
+
+    def delete(self, row) -> bool:
+        """Remove the first row equal to *row*; True iff one was removed.
+
+        Cached hash indexes are updated in place, so existing probe paths
+        stay consistent without a rebuild.
+        """
+        if not isinstance(row, Row):
+            row = Row(self.schema, row)
+        try:
+            self._rows.remove(row)
+        except ValueError:
+            return False
+        self._mutations += 1
+        for index in self._indexes.values():
+            index.remove(row)
+        return True
 
     # -- access ----------------------------------------------------------------
 
     @property
     def rows(self) -> list:
+        """A defensive copy of the row list.
+
+        External callers may mutate the result freely; hot paths (repair
+        loops, index builds, batch chunking) must use :meth:`iter_rows` /
+        ``__iter__`` / :meth:`row_at` instead, which never copy.
+        """
         return list(self._rows)
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter bumped by every ``insert`` / ``delete``."""
+        return self._mutations
+
+    def iter_rows(self) -> Iterator[Row]:
+        """No-copy iteration over the stored rows (read-only hot path)."""
+        return iter(self._rows)
+
+    def row_at(self, index: int) -> Row:
+        """The row at *index* without copying the row list."""
+        return self._rows[index]
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self._rows)

@@ -1,0 +1,544 @@
+"""MasterStore: pluggable backends for master-data access.
+
+Every certain-fix guarantee in the paper flows from probes against the
+master relation ``Dm``: Sect. 5.1 argues TransFix's complexity by noting
+"it takes constant time to check whether there exists a master tuple that
+is applicable to t with an eR, by using a hash table that stores tm[Xm] as
+a key".  :meth:`MasterStore.probe` is that hash-table lookup lifted to an
+interface, so the repair layer no longer assumes masters are in-memory
+:class:`~repro.engine.relation.Relation` objects:
+
+* :class:`InMemoryStore` wraps the existing ``Relation`` + cached
+  :class:`~repro.engine.index.HashIndex` machinery (the paper's setting);
+* :class:`SqliteStore` serves out-of-core masters from indexed sqlite
+  tables with an LRU probe cache in front, so ``Dm`` no longer has to fit
+  in RAM.
+
+Both expose a monotonic :attr:`MasterStore.version` counter bumped by every
+``insert`` / ``delete`` / ``update`` of a master tuple.  The repair engines
+stamp their shared caches (certain regions, Suggest⁺ BDD, validated-pattern
+memos) with the version they were built against and rebuild lazily when it
+moves — incremental master updates therefore invalidate exactly the state
+the paper says is reusable only "as long as Σ and Dm are unchanged".
+
+Mutation contract: route every master mutation through the store (or, for
+:class:`InMemoryStore`, through the wrapped relation's ``insert`` /
+``delete``, which feed the same counter).  ``update`` is delete-then-insert
+in every backend, so a replaced tuple moves to iteration end identically
+everywhere — keeping fix output bit-identical per backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+import threading
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Iterable, Iterator
+
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+from repro.engine.tuples import Row
+from repro.engine.values import NULL, UNKNOWN
+
+
+class MasterStore(ABC):
+    """Abstract master-data backend.
+
+    The read API mirrors how the repair layer touches ``Dm``: keyed probes
+    (:meth:`probe`, :meth:`contains_key`), full iteration (region search and
+    witness sweeps), size, and per-column active values.  The write API
+    (:meth:`insert` / :meth:`delete` / :meth:`update`) bumps
+    :attr:`version`.  A few ``Relation``-compatible aliases (``lookup``,
+    ``scan_lookup``, ``rows``) keep older call sites and external code
+    working unchanged when handed a store.
+    """
+
+    # -- read API ------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def schema(self) -> RelationSchema:
+        """The master schema ``Rm``."""
+
+    @property
+    @abstractmethod
+    def version(self) -> int:
+        """Monotonic counter; moves iff the master data changed."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of master tuples."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Row]:
+        """Iterate master tuples in insertion order."""
+
+    @abstractmethod
+    def probe(self, attrs: Iterable, key) -> list:
+        """Master tuples ``tm`` with ``tm[attrs] == key`` (Sect. 5.1).
+
+        The hot path of every repair probe.  The result is read-only: it
+        may alias an internal bucket or cache entry and MUST NOT be
+        mutated by the caller.
+        """
+
+    @abstractmethod
+    def ensure_index(self, attrs: Iterable) -> None:
+        """Force the probe index over *attrs* so later probes are O(1)."""
+
+    @abstractmethod
+    def active_values(self, attr: str) -> set:
+        """The set of values appearing in master column *attr*."""
+
+    def contains_key(self, attrs: Iterable, key) -> bool:
+        """Whether any master tuple matches ``tm[attrs] == key``."""
+        return bool(self.probe(attrs, key))
+
+    def scan_probe(self, attrs: Iterable, key) -> list:
+        """Index-free probe (the ablation A2 baseline)."""
+        attrs = tuple(attrs)
+        key = tuple(key)
+        return [tm for tm in self if tm[attrs] == key]
+
+    # -- write API -----------------------------------------------------------
+
+    @abstractmethod
+    def insert(self, row) -> None:
+        """Append a master tuple; bumps :attr:`version`."""
+
+    @abstractmethod
+    def delete(self, row) -> bool:
+        """Remove one master tuple equal to *row*; True iff removed.
+
+        A successful delete bumps :attr:`version`; a miss does not.
+        """
+
+    def update(self, old, new) -> bool:
+        """Replace *old* with *new* (delete-then-insert in every backend).
+
+        Returns False (and mutates nothing) when *old* is absent.  The
+        replacement lands at iteration end in all backends, which keeps
+        backend outputs bit-identical after updates.
+        """
+        if not self.delete(old):
+            return False
+        self.insert(new)
+        return True
+
+    # -- Relation-compatible aliases -----------------------------------------
+
+    def lookup(self, attrs: Iterable, key) -> list:
+        """Alias of :meth:`probe` (``Relation``-compatible spelling)."""
+        return self.probe(attrs, key)
+
+    def scan_lookup(self, attrs: Iterable, key) -> list:
+        """Alias of :meth:`scan_probe` (``Relation``-compatible spelling)."""
+        return self.scan_probe(attrs, key)
+
+    @property
+    def rows(self) -> list:
+        """A materialized copy of all master tuples (external callers only)."""
+        return list(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.schema.name!r}, {len(self)} rows, "
+            f"version={self.version})"
+        )
+
+
+class InMemoryStore(MasterStore):
+    """The paper's setting: ``Dm`` in RAM behind cached hash indexes.
+
+    A thin adapter over :class:`~repro.engine.relation.Relation`; probes
+    reuse the relation's per-attribute-list :class:`HashIndex` cache, and
+    ``version`` is the relation's mutation counter, so mutations made
+    directly on the wrapped relation are noticed too.
+    """
+
+    def __init__(self, relation: Relation):
+        self._relation = relation
+
+    @classmethod
+    def from_rows(cls, schema: RelationSchema, rows: Iterable = ()) -> "InMemoryStore":
+        return cls(Relation(schema, rows))
+
+    @property
+    def relation(self) -> Relation:
+        """The wrapped relation (escape hatch for algebra operations)."""
+        return self._relation
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._relation.schema
+
+    @property
+    def version(self) -> int:
+        return self._relation.mutation_count
+
+    def __len__(self) -> int:
+        return len(self._relation)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self._relation.iter_rows()
+
+    def probe(self, attrs: Iterable, key) -> list:
+        return self._relation.lookup(attrs, key)
+
+    def ensure_index(self, attrs: Iterable) -> None:
+        self._relation.index_on(attrs)
+
+    def active_values(self, attr: str) -> set:
+        return self._relation.active_values(attr)
+
+    def scan_probe(self, attrs: Iterable, key) -> list:
+        return self._relation.scan_lookup(attrs, key)
+
+    def insert(self, row) -> None:
+        self._relation.insert(row)
+
+    def delete(self, row) -> bool:
+        return self._relation.delete(row)
+
+
+# -- sqlite value codec --------------------------------------------------------
+#
+# The codec must reproduce Python's equality semantics, because that is what
+# the in-memory backend's dict-keyed hash buckets match by:
+#
+# * cross-type string/number matches must FAIL (the csv loaders deliberately
+#   coerce int-domain cells so 87 != "87") — hence tagged TEXT cells rather
+#   than sqlite's own affinity rules;
+# * cross-type numeric matches must SUCCEED (2 == 2.0 == True in every dict
+#   lookup) — hence bools and integral floats collapse onto the integer
+#   encoding.  Decoding such a value yields the int, which is ``==`` (and
+#   hashes identically) to whatever numeric spelling was stored, keeping
+#   probe/chase/suggest behaviour bit-identical across backends.
+
+_TAG_NULL = "\x00N"
+_TAG_UNKNOWN = "\x00U"
+
+
+def _encode(value) -> str:
+    if value is NULL:
+        return _TAG_NULL
+    if value is UNKNOWN:
+        return _TAG_UNKNOWN
+    if isinstance(value, (bool, int)):
+        return f"i{int(value)}"
+    if isinstance(value, float):
+        if value.is_integer():
+            return f"i{int(value)}"
+        return f"f{value!r}"
+    if isinstance(value, str):
+        return "s" + value
+    raise TypeError(
+        f"SqliteStore cannot store a {type(value).__name__} value "
+        f"({value!r}); supported: str, int, float, bool, NULL, UNKNOWN"
+    )
+
+
+def _decode(cell: str):
+    if cell == _TAG_NULL:
+        return NULL
+    if cell == _TAG_UNKNOWN:
+        return UNKNOWN
+    tag, body = cell[0], cell[1:]
+    if tag == "s":
+        return body
+    if tag == "i":
+        return int(body)
+    if tag == "f":
+        return float(body)
+    raise ValueError(f"corrupt SqliteStore cell {cell!r}")
+
+
+class SqliteStore(MasterStore):
+    """Out-of-core master data behind indexed sqlite tables.
+
+    Rows live in one table (``rid`` preserving insertion order, one tagged
+    TEXT column per attribute).  :meth:`probe` creates the matching sqlite
+    index on first use and fronts it with a bounded LRU cache keyed on
+    ``(attrs, key)``; every mutation bumps :attr:`version` and drops the
+    probe / active-value caches, so a stale hit can never survive a master
+    update.  The connection is shared across threads behind a lock (the
+    batch engine's thread fan-out probes concurrently).
+    """
+
+    _ITER_BATCH = 1024
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable = (),
+        path=None,
+        probe_cache_size: int = 4096,
+        fresh: bool = False,
+    ):
+        """Open (or create) the store and append *rows*.
+
+        An existing database at *path* keeps its rows — reopening a
+        previously-loaded master is the out-of-core workflow — so loaders
+        that treat their row source as the full truth (e.g. the CLI
+        re-streaming a master CSV into the same file) must pass
+        ``fresh=True`` to clear the table first instead of duplicating it.
+        """
+        if probe_cache_size < 0:
+            raise ValueError(
+                f"probe_cache_size must be >= 0, got {probe_cache_size}"
+            )
+        self._schema = schema
+        self._columns = [f"c{i}" for i in range(len(schema))]
+        self._lock = threading.RLock()
+        # Autocommit: every mutation is durable immediately (a closed
+        # on-disk store reopens with its rows), matching the one-statement
+        # granularity of the write API.
+        self._db = sqlite3.connect(
+            ":memory:" if path is None else str(path),
+            check_same_thread=False,
+            isolation_level=None,
+        )
+        column_defs = ", ".join(f"{c} TEXT NOT NULL" for c in self._columns)
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS master "
+            f"(rid INTEGER PRIMARY KEY AUTOINCREMENT, {column_defs})"
+        )
+        if fresh:
+            self._db.execute("DELETE FROM master")
+        self._count = self._db.execute(
+            "SELECT COUNT(*) FROM master"
+        ).fetchone()[0]
+        self._version = 0
+        self._indexed: set = set()
+        self._probe_plans: dict = {}  # attrs tuple -> prepared SELECT
+        self._probe_cache: OrderedDict = OrderedDict()
+        self._probe_cache_size = probe_cache_size
+        self._probe_hits = 0
+        self._probe_misses = 0
+        self._active_cache: dict = {}
+        self._insert_many(rows)
+
+    @classmethod
+    def from_relation(cls, relation: Relation, path=None, **kwargs) -> "SqliteStore":
+        """Load an in-memory relation into a (possibly on-disk) sqlite store."""
+        return cls(relation.schema, relation.iter_rows(), path=path, **kwargs)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Row]:
+        # Window over rid rather than holding one cursor open: robust to
+        # interleaved mutations and never materializes the whole table.
+        schema = self._schema
+        select = f"SELECT rid, {', '.join(self._columns)} FROM master"
+        last = -1
+        while True:
+            with self._lock:
+                batch = self._db.execute(
+                    f"{select} WHERE rid > ? ORDER BY rid LIMIT ?",
+                    (last, self._ITER_BATCH),
+                ).fetchall()
+            if not batch:
+                return
+            last = batch[-1][0]
+            for record in batch:
+                yield Row(schema, [_decode(cell) for cell in record[1:]])
+
+    # -- probes --------------------------------------------------------------
+
+    def _column_of(self, attr: str) -> str:
+        return self._columns[self._schema.index_of(attr)]
+
+    def ensure_index(self, attrs: Iterable) -> None:
+        # Deduplicate (rule match lists may repeat one master column); the
+        # WHERE clause still constrains every position of the probe key.
+        columns = list(dict.fromkeys(self._column_of(a) for a in attrs))
+        name = "idx_" + "_".join(columns)
+        if name in self._indexed:
+            return
+        with self._lock:
+            self._db.execute(
+                f"CREATE INDEX IF NOT EXISTS {name} ON master "
+                f"({', '.join(columns)})"
+            )
+            self._indexed.add(name)
+
+    def probe(self, attrs: Iterable, key) -> list:
+        attrs = tuple(attrs)
+        key = tuple(key)
+        if len(attrs) != len(key):
+            raise ValueError(
+                f"probe key {key} does not match attribute list {attrs}"
+            )
+        cache_key = (attrs, key)
+        with self._lock:
+            cached = self._probe_cache.get(cache_key)
+            if cached is not None:
+                self._probe_hits += 1
+                self._probe_cache.move_to_end(cache_key)
+                return cached
+            self._probe_misses += 1
+        select = self._probe_plans.get(attrs)
+        if select is None:
+            self.ensure_index(attrs)
+            where = " AND ".join(f"{self._column_of(a)} = ?" for a in attrs)
+            select = (
+                f"SELECT {', '.join(self._columns)} FROM master "
+                f"WHERE {where} ORDER BY rid"
+            )
+            self._probe_plans[attrs] = select
+        try:
+            encoded = [_encode(v) for v in key]
+        except TypeError:
+            return []  # unstorable value (e.g. FreshValue) matches nothing
+        with self._lock:
+            records = self._db.execute(select, encoded).fetchall()
+            result = [
+                Row(self._schema, [_decode(cell) for cell in record])
+                for record in records
+            ]
+            if self._probe_cache_size:
+                self._probe_cache[cache_key] = result
+                while len(self._probe_cache) > self._probe_cache_size:
+                    self._probe_cache.popitem(last=False)
+        return result
+
+    def active_values(self, attr: str) -> set:
+        with self._lock:
+            cached = self._active_cache.get(attr)
+            if cached is not None:
+                return cached
+            records = self._db.execute(
+                f"SELECT DISTINCT {self._column_of(attr)} FROM master"
+            ).fetchall()
+            values = {_decode(record[0]) for record in records}
+            self._active_cache[attr] = values
+        return values
+
+    def probe_cache_info(self) -> dict:
+        """LRU accounting for the benchmark layer."""
+        with self._lock:
+            return {
+                "hits": self._probe_hits,
+                "misses": self._probe_misses,
+                "size": len(self._probe_cache),
+                "maxsize": self._probe_cache_size,
+            }
+
+    # -- mutation ------------------------------------------------------------
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._probe_cache.clear()
+        self._active_cache.clear()
+
+    def _coerce(self, row) -> Row:
+        if not isinstance(row, Row):
+            return Row(self._schema, row)
+        if row.schema.attributes != self._schema.attributes:
+            raise ValueError(
+                f"row schema {row.schema.name!r} does not match store "
+                f"schema {self._schema.name!r}"
+            )
+        return row
+
+    def _insert_sql(self) -> str:
+        placeholders = ", ".join("?" for _ in self._columns)
+        return (
+            f"INSERT INTO master ({', '.join(self._columns)}) "
+            f"VALUES ({placeholders})"
+        )
+
+    def _insert_many(self, rows: Iterable, chunk: int = 10_000) -> None:
+        """Bulk load inside explicit transactions.
+
+        Autocommit pays one journal sync per row, which would turn a large
+        on-disk load into minutes; batching commits keeps the streaming
+        CSV path (the whole point of the out-of-core backend) fast.  One
+        version bump at the end — the load is a single logical mutation.
+        """
+        sql = self._insert_sql()
+        inserted = 0
+        rows = iter(rows)
+        with self._lock:
+            while True:
+                batch = [
+                    [_encode(v) for v in self._coerce(row).values]
+                    for row in itertools.islice(rows, chunk)
+                ]
+                if not batch:
+                    break
+                self._db.execute("BEGIN")
+                try:
+                    self._db.executemany(sql, batch)
+                    self._db.execute("COMMIT")
+                except BaseException:
+                    self._db.execute("ROLLBACK")
+                    raise
+                inserted += len(batch)
+            if inserted:
+                self._count += inserted
+                self._bump()
+
+    def insert(self, row) -> None:
+        row = self._coerce(row)
+        encoded = [_encode(v) for v in row.values]
+        with self._lock:
+            self._db.execute(self._insert_sql(), encoded)
+            self._count += 1
+            self._bump()
+
+    def delete(self, row) -> bool:
+        row = self._coerce(row)
+        try:
+            encoded = [_encode(v) for v in row.values]
+        except TypeError:
+            return False
+        where = " AND ".join(f"{c} = ?" for c in self._columns)
+        with self._lock:
+            record = self._db.execute(
+                f"SELECT rid FROM master WHERE {where} ORDER BY rid LIMIT 1",
+                encoded,
+            ).fetchone()
+            if record is None:
+                return False
+            self._db.execute("DELETE FROM master WHERE rid = ?", record)
+            self._count -= 1
+            self._bump()
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            self._db.close()
+
+
+def as_master_store(master) -> MasterStore:
+    """Adapt *master* to the :class:`MasterStore` interface.
+
+    Stores pass through unchanged.  A :class:`Relation` is wrapped in an
+    ``InMemoryStore`` that is cached on the relation, so repeated
+    adaptation is O(1) and every consumer shares one version stream.
+    """
+    if isinstance(master, MasterStore):
+        return master
+    if isinstance(master, Relation):
+        wrapper = master._store_wrapper
+        if wrapper is None:
+            wrapper = InMemoryStore(master)
+            master._store_wrapper = wrapper
+        return wrapper
+    raise TypeError(
+        f"expected a MasterStore or Relation, got {type(master).__name__}"
+    )

@@ -13,6 +13,13 @@ adds the throughput layer on top of :class:`repro.repair.certainfix.CertainFix`:
   both depend only on the *validated pattern* ``(Z', t[Z'])`` (every rule
   they may fire has its premise inside ``Z'`` and master data is fixed), so
   identical dirty shapes skip re-validation entirely;
+* **versioned invalidation** — masters are reached through the
+  :class:`~repro.engine.store.MasterStore` seam; every shared structure
+  (regions, master indexes, the BDD, both memo tables) is stamped with the
+  store version it was built against, and an ``insert``/``delete``/
+  ``update`` of a master tuple moves the version so all of them rebuild
+  lazily before the next monitored tuple — incremental master updates can
+  no longer poison the shared caches;
 * **chunked execution** — the input stream is consumed in bounded chunks
   (generators welcome: CSV ingestion never materializes the workload), with
   an optional thread fan-out over the read-only master state;
@@ -89,6 +96,8 @@ class BatchReport:
     transfix_memo: MemoStats = field(default_factory=MemoStats)
     suggestion_hits: int = 0
     suggestion_misses: int = 0
+    cache_invalidations: int = 0
+    master_version: int = 0
 
     @property
     def throughput(self) -> float:
@@ -132,6 +141,8 @@ class BatchReport:
                 "misses": self.suggestion_misses,
                 "hit_rate": round(self.suggestion_hit_rate, 4),
             },
+            "cache_invalidations": self.cache_invalidations,
+            "master_version": self.master_version,
         }
 
     def describe(self) -> str:
@@ -151,6 +162,12 @@ class BatchReport:
                 f"suggestion cache: {self.suggestion_hit_rate:.0%} hit "
                 f"({self.suggestion_hits}/"
                 f"{self.suggestion_hits + self.suggestion_misses})"
+            )
+        if self.cache_invalidations:
+            lines.append(
+                f"master updated mid-run: shared caches rebuilt "
+                f"{self.cache_invalidations} time(s) "
+                f"(store version {self.master_version})"
             )
         return "\n".join(lines)
 
@@ -177,7 +194,10 @@ class _MemoCertainFix(CertainFix):
     Soundness: every rule the chase or TransFix may fire has its premise
     ``X ∪ Xp`` inside the validated set ``Z'`` (and grows ``Z'`` only with
     master-derived values), so both outcomes are pure functions of
-    ``(Z', t[Z'])`` given fixed ``(Σ, Dm)`` — the memo key.
+    ``(Z', t[Z'])`` given fixed ``(Σ, Dm)`` — the memo key.  "Fixed" is
+    enforced by version-stamping: when the master store's version moves,
+    the inherited sync hook clears both memo tables along with the base
+    engine's regions/BDD/suggest caches.
     """
 
     def __init__(self, *args, memoize: bool = True, **kwargs):
@@ -193,6 +213,18 @@ class _MemoCertainFix(CertainFix):
         # next to a chase or TransFix run.
         self._stats_lock = threading.Lock()
 
+    def _sync_master_version(self) -> bool:
+        # The guard is re-entrant: this subclass's memo tables are cleared
+        # within the same hold as the base teardown, and the stamp-checked
+        # writes below guarantee a worker that computed against the old
+        # version cannot re-poison the freshly cleared tables.
+        with self._memo_guard:
+            changed = super()._sync_master_version()
+            if changed:
+                self._chase_memo.clear()
+                self._transfix_memo.clear()
+        return changed
+
     def _memo_key(self, row: Row, validated: frozenset) -> tuple:
         attrs = tuple(sorted(validated))
         return attrs, row[attrs]
@@ -201,12 +233,15 @@ class _MemoCertainFix(CertainFix):
         if not self._memoize:
             return super()._unique(row, validated)
         key = self._memo_key(row, validated)
+        stamp = self._master_version
         cached = self._chase_memo.get(key)
         if cached is None:
             with self._stats_lock:
                 self.chase_stats.misses += 1
             cached = super()._unique(row, validated)
-            self._chase_memo[key] = cached
+            with self._memo_guard:
+                if self._master_version == stamp:
+                    self._chase_memo[key] = cached
         else:
             with self._stats_lock:
                 self.chase_stats.hits += 1
@@ -216,6 +251,7 @@ class _MemoCertainFix(CertainFix):
         if not self._memoize:
             return super()._transfix(row, validated)
         key = self._memo_key(row, validated)
+        stamp = self._master_version
         entry = self._transfix_memo.get(key)
         if entry is None:
             with self._stats_lock:
@@ -224,9 +260,11 @@ class _MemoCertainFix(CertainFix):
             fixes = tuple(
                 (rule.rhs, result.row[rule.rhs]) for rule, _ in result.applied
             )
-            self._transfix_memo[key] = (
-                fixes, tuple(result.applied), result.lookups,
-            )
+            with self._memo_guard:
+                if self._master_version == stamp:
+                    self._transfix_memo[key] = (
+                        fixes, tuple(result.applied), result.lookups,
+                    )
             return result
         with self._stats_lock:
             self.transfix_stats.hits += 1
@@ -263,11 +301,17 @@ class BatchRepairEngine:
     Parameters
     ----------
     rules, master, schema:
-        As for :class:`CertainFix`; master hash indexes for every rule key
-        are forced at construction.
+        As for :class:`CertainFix`: *master* is any
+        :class:`~repro.engine.store.MasterStore` (in-memory or sqlite) or a
+        plain relation, and probe indexes for every rule key are forced at
+        construction.  Mutating the store between (or during) runs bumps
+        its version; all shared caches rebuild lazily before the next
+        monitored tuple, and the run's :class:`BatchReport` counts the
+        rebuilds.
     regions:
         Precomputed certain-region candidates; computed (once) at
-        construction when omitted — never per tuple.
+        construction when omitted — never per tuple, recomputed only when
+        the store version moves.
     use_bdd:
         Share a Suggest⁺ BDD cache across all sessions (default on: this is
         the batch workload the cache was designed for).
@@ -314,6 +358,11 @@ class BatchRepairEngine:
         self.chunk_size = chunk_size
         self.concurrency = concurrency
         self.on_incomplete = on_incomplete
+        # Non-BDD streams get the suggest memo (ROADMAP follow-up): same
+        # validated-pattern key as the chase/TransFix memos, same versioned
+        # invalidation.  With the BDD on, the cursor path serves suggestions
+        # and the memo would be dead weight.
+        engine_options.setdefault("memoize_suggest", memoize and not use_bdd)
         self._engine = _MemoCertainFix(
             rules, master, schema,
             regions=regions, use_bdd=use_bdd, memoize=memoize,
@@ -331,6 +380,15 @@ class BatchRepairEngine:
         """The shared underlying CertainFix engine (caches included)."""
         return self._engine
 
+    @property
+    def store(self):
+        """The engine's :class:`~repro.engine.store.MasterStore`.
+
+        Mutations made through it (``insert`` / ``delete`` / ``update``)
+        are picked up before the next monitored tuple.
+        """
+        return self._engine.store
+
     # -- execution -------------------------------------------------------------
 
     def run(self, pairs: Iterable) -> BatchResult:
@@ -342,6 +400,7 @@ class BatchRepairEngine:
         engine = self._engine
         chase_before = engine.chase_stats.snapshot()
         transfix_before = engine.transfix_stats.snapshot()
+        invalidations_before = engine.cache_invalidations
         bdd_before = engine.cache_stats
         bdd_hits0 = bdd_before.hits if bdd_before is not None else 0
         bdd_misses0 = bdd_before.misses if bdd_before is not None else 0
@@ -395,6 +454,10 @@ class BatchRepairEngine:
             suggestion_misses=(
                 bdd_after.misses - bdd_misses0 if bdd_after is not None else 0
             ),
+            cache_invalidations=(
+                engine.cache_invalidations - invalidations_before
+            ),
+            master_version=engine.store.version,
         )
         return BatchResult(sessions=sessions, report=report)
 

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.analysis.closure import attribute_closure
-from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
+from repro.engine.store import as_master_store
 from repro.engine.tuples import Row
 from repro.repair.suggest import Suggestion, applicable_rules, suggest
 
@@ -40,6 +40,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     checks: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -48,18 +49,24 @@ class CacheStats:
 
 
 class SuggestionCache:
-    """The Suggest⁺ BDD: per-round suggestion reuse across a tuple stream."""
+    """The Suggest⁺ BDD: per-round suggestion reuse across a tuple stream.
+
+    Every cached suggestion was certified against a concrete master state;
+    when the backing :class:`~repro.engine.store.MasterStore` moves to a new
+    version the owner must call :meth:`invalidate` (the repair engines do
+    this automatically from their version-sync hook).
+    """
 
     def __init__(
         self,
         rules: Sequence,
-        master: Relation,
+        master,
         schema: RelationSchema,
         validate_patterns: int = 48,
         max_chain: int = 16,
     ):
         self.rules = list(rules)
-        self.master = master
+        self.master = as_master_store(master)
         self.schema = schema
         self.validate_patterns = validate_patterns
         self.max_chain = max_chain
@@ -72,6 +79,20 @@ class SuggestionCache:
     def start(self) -> "_Cursor":
         """A fresh traversal cursor (one per input tuple)."""
         return _Cursor(self)
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached suggestion and pattern probe.
+
+        Called when the master store's version moves: cached witnesses were
+        validated against master tuples that may no longer exist, so the
+        whole BDD is rebuilt lazily from fresh Suggest calls.  Live cursors
+        keep working — their next step simply misses and recomputes.
+        """
+        self._root = None
+        self._pattern_cache.clear()
+        self.stats.invalidations += 1
 
     # -- validity check ------------------------------------------------------
 

@@ -9,20 +9,28 @@ every attribute of the tuple is validated.
 
 ``CertainFix⁺`` is the same driver with the BDD suggestion cache
 (:class:`repro.repair.bdd.SuggestionCache`) replacing fresh Suggest calls.
+
+Master data is reached exclusively through the
+:class:`~repro.engine.store.MasterStore` seam — the Sect. 5.1 hash table
+behind ``probe`` — so in-memory and out-of-core backends are
+interchangeable.  All derived state (certain regions, the BDD, the suggest
+memo, pattern probes) is stamped with the store version it was computed
+against and rebuilt lazily when the master mutates.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.analysis.dependency_graph import DependencyGraph
 from repro.core.fixes import chase
-from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
+from repro.engine.store import as_master_store
 from repro.engine.tuples import Row
-from repro.repair.bdd import SuggestionCache
+from repro.repair.bdd import CacheStats, SuggestionCache
 from repro.repair.region_search import comp_c_region
 from repro.repair.suggest import Suggestion, suggest
 from repro.repair.transfix import transfix
@@ -130,13 +138,23 @@ class CertainFix:
     Parameters
     ----------
     rules, master, schema:
-        The rule set Σ, master relation ``Dm`` and input schema ``R``.
+        The rule set Σ, the master data ``Dm`` — a
+        :class:`~repro.engine.store.MasterStore` or a plain relation
+        (adapted on entry) — and the input schema ``R``.
     regions:
         Precomputed certain-region candidates (output of
         :func:`repro.repair.region_search.comp_c_region`).  Computed once on
         first use when omitted; index 0 (highest quality) seeds round 1.
+        Recomputed from the store whenever its version moves: regions are
+        valid only for the master state they were derived from.
     use_bdd:
         Enable the Suggest⁺ cache — this is CertainFix⁺.
+    memoize_suggest:
+        Cache non-BDD ``suggest()`` results on ``(Z', t[Z'])`` (sound:
+        Suggest is a pure function of the validated pattern for fixed
+        ``(Σ, Dm)``, and the memo is dropped when the store version moves).
+        Hit rates surface through :attr:`cache_stats`.  Ignored during
+        rounds served by the BDD cursor.
     initial_region_rank:
         Which precomputed region to start from (0 = CRHQ; higher ranks give
         the CRMQ comparison of Exp-1(2)).
@@ -145,10 +163,11 @@ class CertainFix:
     def __init__(
         self,
         rules: Sequence,
-        master: Relation,
+        master,
         schema: RelationSchema,
         regions: list = None,
         use_bdd: bool = False,
+        memoize_suggest: bool = False,
         initial_region_rank: int = 0,
         max_rounds: int = 12,
         max_revisions: int = 3,
@@ -156,7 +175,10 @@ class CertainFix:
         suggest_validate_patterns: int = 48,
     ):
         self.rules = list(rules)
-        self.master = master
+        self.store = as_master_store(master)
+        # ``master`` stays as an alias of the store: every legacy call site
+        # (and the analyses this engine delegates to) reads through it.
+        self.master = self.store
         self.schema = schema
         self.graph = DependencyGraph(self.rules)
         self.max_rounds = max_rounds
@@ -168,23 +190,34 @@ class CertainFix:
         self._pattern_cache: dict = {}
         self._cache = (
             SuggestionCache(
-                self.rules, master, schema,
+                self.rules, self.store, schema,
                 validate_patterns=suggest_validate_patterns,
             )
             if use_bdd
             else None
         )
+        self._suggest_memo: dict = {} if memoize_suggest else None
+        self._suggest_stats = CacheStats() if memoize_suggest else None
+        # Guards every version-stamped structure (the version stamp itself,
+        # the suggest memo, and subclass memo tables) against the thread
+        # fan-out: teardown happens under the guard, and memo writes are
+        # stamp-checked under it so an outcome computed against an old
+        # master version can never re-poison a freshly cleared cache.
+        # Re-entrant: subclasses extend the teardown within the same hold.
+        self._memo_guard = threading.RLock()
+        self.cache_invalidations = 0
         # Force master indexes for every rule key up front so the first
         # monitored tuple does not pay index-build latency.
         for rule in self.rules:
-            master.index_on(rule.lhs_m)
+            self.store.ensure_index(rule.lhs_m)
+        self._master_version = self.store.version
 
     # -- precomputation ----------------------------------------------------------
 
     @property
     def regions(self) -> list:
         if self._regions is None:
-            self._regions = comp_c_region(self.rules, self.master, self.schema)
+            self._regions = comp_c_region(self.rules, self.store, self.schema)
             if not self._regions:
                 raise ValueError(
                     "no certain region exists for (Σ, Dm); CertainFix needs "
@@ -200,7 +233,39 @@ class CertainFix:
 
     @property
     def cache_stats(self):
-        return self._cache.stats if self._cache is not None else None
+        """Suggestion-cache accounting: the BDD's when enabled, else the
+        non-BDD suggest memo's, else ``None``."""
+        if self._cache is not None:
+            return self._cache.stats
+        return self._suggest_stats
+
+    # -- master-version synchronisation -----------------------------------------
+
+    def _sync_master_version(self) -> bool:
+        """Drop version-stamped state when the master store moved.
+
+        Checked on every monitored tuple (an integer compare when nothing
+        changed).  Regions, the Suggest⁺ BDD, the suggest memo and the
+        pattern-probe cache were all computed against a concrete master
+        state; any of them may certify fixes that are no longer certain
+        after an insert/delete/update, so all are rebuilt lazily.
+        Subclasses extend this to cover their own caches.
+        """
+        version = self.store.version
+        if version == self._master_version:
+            return False
+        with self._memo_guard:
+            if version == self._master_version:
+                return False  # another worker already performed the teardown
+            self._master_version = version
+            self._regions = None
+            self._pattern_cache.clear()
+            if self._suggest_memo is not None:
+                self._suggest_memo.clear()
+            if self._cache is not None:
+                self._cache.invalidate()
+            self.cache_invalidations += 1
+        return True
 
     # -- the main loop (Fig. 3) -----------------------------------------------
 
@@ -212,6 +277,7 @@ class CertainFix:
         the concrete pattern ``t[Z' ∪ S]``), runs TransFix, and either
         finishes or computes a new suggestion.
         """
+        self._sync_master_version()
         row = t
         validated: frozenset = frozenset()
         session = FixSession(final=row, validated=validated)
@@ -297,11 +363,11 @@ class CertainFix:
     # -- overridable hot-path hooks (the batch engine memoizes these) ----------
 
     def _unique(self, row: Row, validated: frozenset) -> bool:
-        outcome = chase(row, validated, self.rules, self.master)
+        outcome = chase(row, validated, self.rules, self.store)
         return outcome.unique
 
     def _transfix(self, row: Row, validated: frozenset):
-        return transfix(row, validated, self.rules, self.master, self.graph)
+        return transfix(row, validated, self.rules, self.store, self.graph)
 
     def _start_cursor(self):
         return self._cache.start() if self._cache is not None else None
@@ -309,9 +375,35 @@ class CertainFix:
     def _next_suggestion(self, cursor, row: Row, validated: frozenset) -> Suggestion:
         if cursor is not None:
             return cursor.next_suggestion(row, validated)
+        if self._suggest_memo is None:
+            return self._fresh_suggestion(row, validated)
+        # Suggest is a pure function of the validated pattern (Z', t[Z'])
+        # for fixed (Σ, Dm) — the same argument that makes the batch
+        # engine's chase/TransFix memos sound — so identical dirty shapes
+        # reuse the suggestion outright on non-BDD streams.
+        attrs = tuple(sorted(validated))
+        key = (attrs, row[attrs])
+        stamp = self._master_version
+        cached = self._suggest_memo.get(key)
+        if cached is not None:
+            with self._memo_guard:
+                self._suggest_stats.hits += 1
+            return cached
+        with self._memo_guard:
+            self._suggest_stats.misses += 1
+        suggestion = self._fresh_suggestion(row, validated)
+        with self._memo_guard:
+            # Stamp check: if the master moved while we computed, this
+            # suggestion was certified against deleted/updated tuples and
+            # must not outlive the invalidation that just cleared the memo.
+            if self._master_version == stamp:
+                self._suggest_memo[key] = suggestion
+        return suggestion
+
+    def _fresh_suggestion(self, row: Row, validated: frozenset) -> Suggestion:
         return suggest(
             self.rules,
-            self.master,
+            self.store,
             self.schema,
             row,
             validated,

@@ -31,8 +31,8 @@ from repro.analysis.consistency import check_pattern
 from repro.analysis.zproblems import master_projected_patterns
 from repro.core.patterns import PatternTableau
 from repro.core.regions import Region
-from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
+from repro.engine.store import MasterStore, as_master_store
 
 
 @dataclass
@@ -65,7 +65,7 @@ class CertainRegionCandidate:
 def _validated_tableau(
     z: tuple,
     rules: Sequence,
-    master: Relation,
+    master: MasterStore,
     schema: RelationSchema,
     validate_patterns: int,
     max_instantiations: int,
@@ -102,7 +102,7 @@ def _quality(schema: RelationSchema, size: int, support: float) -> float:
 
 def comp_c_region(
     rules: Sequence,
-    master: Relation,
+    master,
     schema: RelationSchema,
     max_regions: int = 8,
     max_extra: int = 3,
@@ -112,8 +112,12 @@ def comp_c_region(
     """Derive a ranked list of certain regions from (Σ, Dm).
 
     All returned regions are validated certain regions; the first element is
-    the highest-quality one (the CRHQ of Exp-1(2)).
+    the highest-quality one (the CRHQ of Exp-1(2)).  *master* may be any
+    :class:`~repro.engine.store.MasterStore` or a plain relation; regions
+    derived here are valid only for the store version they were computed
+    against (the repair engines stamp and rebuild them on master updates).
     """
+    master = as_master_store(master)
     rules = list(rules)
     all_attrs = set(schema.attributes)
     base = tuple(a for a in schema.attributes if a in mandatory_attrs(schema, rules))
@@ -182,7 +186,7 @@ def comp_c_region(
 
 def g_region(
     rules: Sequence,
-    master: Relation,
+    master,
     schema: RelationSchema,
     validate_patterns: int = 64,
     max_instantiations: int = 50_000,
@@ -194,6 +198,7 @@ def g_region(
     itself.  Picks greedily until everything is may-covered, then repairs
     with closure growth so the result is actually a certain region.
     """
+    master = as_master_store(master)
     rules = list(rules)
     all_attrs = list(schema.attributes)
     covered: set = set()

@@ -28,8 +28,8 @@ from repro.analysis.zproblems import (
 )
 from repro.core.patterns import ANY, Const, PatternTuple
 from repro.core.regions import Region
-from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
+from repro.engine.store import MasterStore, as_master_store
 from repro.engine.tuples import Row
 from repro.engine.values import UNKNOWN
 
@@ -48,7 +48,7 @@ class Suggestion:
         return bool(self.attrs)
 
 
-def _pattern_holds_on_master(rule, master: Relation) -> bool:
+def _pattern_holds_on_master(rule, master: MasterStore) -> bool:
     """Condition (c) with an empty validated key: some master tuple matches
     the pattern part ``tp[Xp ∩ X]`` through the rule's correspondence."""
     checks = [
@@ -68,7 +68,7 @@ def _pattern_holds_on_master(rule, master: Relation) -> bool:
 
 def applicable_rules(
     rules: Sequence,
-    master: Relation,
+    master,
     row: Row,
     z: frozenset,
     pattern_cache: dict = None,
@@ -77,10 +77,12 @@ def applicable_rules(
 
     For each rule φ, keep it iff (a) its target is outside ``Z``, (b) its
     pattern holds on the validated attributes, and (c) some master tuple
-    matches both the validated key part and the pattern part; the survivor
-    ``φ⁺`` absorbs the validated key attributes into its pattern with the
-    concrete values of ``t``.
+    matches both the validated key part and the pattern part (a keyed
+    :meth:`~repro.engine.store.MasterStore.probe`); the survivor ``φ⁺``
+    absorbs the validated key attributes into its pattern with the concrete
+    values of ``t``.
     """
+    master = as_master_store(master)
     out = []
     for rule in rules:
         if rule.rhs in z:  # (a)
@@ -98,7 +100,7 @@ def applicable_rules(
             if any(v is UNKNOWN for v in key):
                 continue
             columns = rule.master_attrs_of(key_attrs)
-            matches = master.lookup(columns, key)
+            matches = master.probe(columns, key)
             pattern_checks = [
                 (rule.master_attr_of(a), rule.pattern[a])
                 for a in rule.pattern.attrs
@@ -211,7 +213,7 @@ def _witness_search(
 
 def s_minimum_exact(
     rules: Sequence,
-    master: Relation,
+    master,
     schema: RelationSchema,
     row: Row,
     z: frozenset,
@@ -228,6 +230,7 @@ def s_minimum_exact(
     special case), hence the subset-budget guard.  Returns
     ``(S tuple, witness pattern)`` or ``None``.
     """
+    master = as_master_store(master)
     z = frozenset(z)
     applicable = applicable_rules(rules, master, row, z)
     candidates = [a for a in schema.attributes if a not in z]
@@ -265,7 +268,7 @@ def s_minimum_exact(
 
 def suggest(
     rules: Sequence,
-    master: Relation,
+    master,
     schema: RelationSchema,
     row: Row,
     z: frozenset,
@@ -273,7 +276,14 @@ def suggest(
     validate_patterns: int = 48,
     max_instantiations: int = 50_000,
 ) -> Suggestion:
-    """Compute a new suggestion for ``t`` given validated attributes ``Z``."""
+    """Compute a new suggestion for ``t`` given validated attributes ``Z``.
+
+    *master* may be any :class:`~repro.engine.store.MasterStore` (or a plain
+    relation); the result is a pure function of ``(Z, t[Z])`` for a fixed
+    ``(Σ, Dm)``, which is what makes both the BDD cache and the non-BDD
+    suggest memo of :class:`~repro.repair.certainfix.CertainFix` sound.
+    """
+    master = as_master_store(master)
     z = frozenset(z)
     applicable = applicable_rules(rules, master, row, z, pattern_cache)
     s = _grow_suggestion(schema, z, applicable)

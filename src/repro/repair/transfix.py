@@ -5,8 +5,10 @@ rules and master data entail, extending ``Z'`` as it goes.  The procedure
 walks the rule dependency graph: rules whose premise (``X ∪ Xp``) is already
 validated sit in ``vset`` ("usable"); firing a rule upgrades its dependent
 rules from ``uset`` to ``vset`` when their premises fill in.  Each rule is
-consumed at most once, giving the paper's ``O(|Σ|²)`` bound (with hash-index
-master lookups counted constant).
+consumed at most once, giving the paper's ``O(|Σ|²)`` bound.  Master access
+goes through :meth:`repro.engine.store.MasterStore.probe` — the Sect. 5.1
+hash table keyed on ``tm[Xm]`` that makes each master check constant time —
+so any backend (in-memory or out-of-core) serves the lookups.
 
 A naive fixpoint loop (re-scan all rules until nothing fires) is provided as
 :func:`transfix_naive` for ablation A1.
@@ -18,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Set
 
 from repro.analysis.dependency_graph import DependencyGraph
-from repro.engine.relation import Relation
+from repro.engine.store import MasterStore, as_master_store
 from repro.engine.tuples import Row
 from repro.engine.values import UNKNOWN
 
@@ -58,15 +60,15 @@ class TransFixResult:
         return "\n".join(lines)
 
 
-def _resolve(rule, row: Row, master: Relation, use_index: bool):
+def _resolve(rule, row: Row, master: MasterStore, use_index: bool):
     """Master value for ``rhs(rule)``, or None; raises on disagreement."""
     key = row[rule.lhs]
     if any(v is UNKNOWN for v in key):
         return None
     if use_index:
-        matches = master.lookup(rule.lhs_m, key)
+        matches = master.probe(rule.lhs_m, key)
     else:
-        matches = master.scan_lookup(rule.lhs_m, key)
+        matches = master.scan_probe(rule.lhs_m, key)
     if len(rule.master_guard):
         matches = [tm for tm in matches if rule.master_guard.matches(tm)]
     if not matches:
@@ -86,7 +88,7 @@ def transfix(
     t: Row,
     validated: Iterable,
     rules,
-    master: Relation,
+    master,
     graph: DependencyGraph = None,
     use_index: bool = True,
 ) -> TransFixResult:
@@ -94,9 +96,12 @@ def transfix(
 
     Parameters mirror the paper: the tuple, the validated set ``Z'``, the
     rule set Σ with its dependency graph ``G`` (built on demand when not
-    supplied), and the master relation.  ``use_index=False`` degrades master
-    lookups to scans (ablation A2).
+    supplied), and the master data — a
+    :class:`~repro.engine.store.MasterStore` or a plain relation (adapted
+    on entry).  ``use_index=False`` degrades master probes to scans
+    (ablation A2).
     """
+    master = as_master_store(master)
     if graph is None:
         graph = DependencyGraph(list(rules))
     rules = graph.rules
@@ -154,7 +159,7 @@ def transfix_naive(
     t: Row,
     validated: Iterable,
     rules,
-    master: Relation,
+    master,
     use_index: bool = True,
 ) -> TransFixResult:
     """Ablation baseline: re-scan the whole rule set until a fixpoint.
@@ -162,6 +167,7 @@ def transfix_naive(
     Semantically equivalent to :func:`transfix` (tests assert this); does
     ``O(|Σ|)`` scans per fired rule instead of following dependency edges.
     """
+    master = as_master_store(master)
     rules = list(rules)
     z: Set = set(validated)
     row = t

@@ -1,0 +1,290 @@
+"""MasterStore backends: API, versioning, the sqlite codec and LRU cache."""
+
+import pytest
+
+from repro.engine.index import HashIndex
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+from repro.engine.store import (
+    InMemoryStore,
+    MasterStore,
+    SqliteStore,
+    as_master_store,
+    _decode,
+    _encode,
+)
+from repro.engine.tuples import Row
+from repro.engine.values import NULL, UNKNOWN
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("m", ["k", "v", ("n", INT)])
+
+
+@pytest.fixture
+def rows(schema):
+    return [
+        Row(schema, ("a", "x", 1)),
+        Row(schema, ("b", "y", 2)),
+        Row(schema, ("a", "x", 3)),
+        Row(schema, ("c", NULL, 4)),
+    ]
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, schema, rows):
+    if request.param == "memory":
+        return InMemoryStore(Relation(schema, rows))
+    return SqliteStore(schema, rows)
+
+
+# -- codec --------------------------------------------------------------------
+
+
+def test_codec_reproduces_python_equality():
+    values = ["", "abc", "i87", 87, -3, 0, 1.5, 2.0, True, False,
+              NULL, UNKNOWN]
+    for value in values:
+        assert _decode(_encode(value)) == value
+    # ints and their string spellings must not collide (csv coercion relies
+    # on string/number keys staying distinct)...
+    assert _encode(87) != _encode("87")
+    # ...while numerically equal values must collide, exactly as they do as
+    # dict keys in the in-memory backend's hash buckets (2 == 2.0 == True)
+    assert _encode(2) == _encode(2.0)
+    assert _encode(True) == _encode(1)
+    assert _encode(False) == _encode(0.0)
+    assert _encode(1.5) != _encode(1)
+    assert _decode(_encode(NULL)) is NULL
+    assert _decode(_encode(UNKNOWN)) is UNKNOWN
+
+
+def test_codec_rejects_unstorable_values():
+    with pytest.raises(TypeError, match="cannot store"):
+        _encode(object())
+
+
+# -- shared backend contract --------------------------------------------------
+
+
+def test_store_basic_reads(store, schema, rows):
+    assert isinstance(store, MasterStore)
+    assert store.schema.attributes == schema.attributes
+    assert len(store) == 4
+    assert list(store) == rows  # insertion order
+    assert store.rows == rows   # Relation-compatible copy
+    assert store.active_values("k") == {"a", "b", "c"}
+    assert store.active_values("v") == {"x", "y", NULL}
+
+
+def test_probe_and_aliases(store, rows):
+    assert store.probe(("k",), ("a",)) == [rows[0], rows[2]]
+    assert store.probe(("k", "v"), ("b", "y")) == [rows[1]]
+    assert store.probe(("k",), ("zzz",)) == []
+    # duplicate attributes in the probe list (Theorem 12-style reuse)
+    assert store.probe(("k", "k"), ("a", "a")) == [rows[0], rows[2]]
+    assert store.probe(("k", "k"), ("a", "b")) == []
+    # Relation-compatible spellings and the index-free ablation agree
+    assert store.lookup(("k",), ("a",)) == store.probe(("k",), ("a",))
+    assert store.scan_probe(("k",), ("a",)) == store.probe(("k",), ("a",))
+    assert store.scan_lookup(("n",), (2,)) == [rows[1]]
+    assert store.contains_key(("k",), ("c",))
+    assert not store.contains_key(("k",), ("nope",))
+
+
+def test_probe_is_exact_typed(store):
+    assert store.probe(("n",), (2,)) != []
+    assert store.probe(("n",), ("2",)) == []
+
+
+def test_version_bumps_on_mutation(store, schema):
+    v0 = store.version
+    extra = Row(schema, ("d", "z", 9))
+    store.insert(extra)
+    v1 = store.version
+    assert v1 > v0
+    assert len(store) == 5
+    assert list(store)[-1] == extra
+    assert store.probe(("k",), ("d",)) == [extra]
+
+    assert store.delete(extra)
+    assert store.version > v1
+    assert len(store) == 4
+    assert store.probe(("k",), ("d",)) == []
+    # deleting a missing row mutates nothing
+    v2 = store.version
+    assert not store.delete(extra)
+    assert store.version == v2
+
+
+def test_delete_removes_one_occurrence(store, schema, rows):
+    assert store.delete(Row(schema, ("a", "x", 1)))
+    assert store.probe(("k",), ("a",)) == [rows[2]]
+    assert len(store) == 3
+
+
+def test_update_moves_row_to_iteration_end(store, schema, rows):
+    old = rows[1]
+    new = Row(schema, ("b", "y2", 2))
+    v0 = store.version
+    assert store.update(old, new)
+    assert store.version > v0
+    assert list(store) == [rows[0], rows[2], rows[3], new]
+    assert store.probe(("k",), ("b",)) == [new]
+    assert not store.update(old, new)  # old is gone now
+
+
+def test_ensure_index_then_probe(store):
+    store.ensure_index(("v", "n"))
+    assert store.probe(("v", "n"), ("x", 3)) == [store.rows[2]]
+
+
+# -- InMemoryStore specifics --------------------------------------------------
+
+
+def test_inmemory_version_tracks_direct_relation_mutation(schema, rows):
+    relation = Relation(schema, rows)
+    store = as_master_store(relation)
+    v0 = store.version
+    relation.insert(Row(schema, ("e", "w", 7)))
+    assert store.version > v0
+    assert store.probe(("k",), ("e",)) != []
+
+
+def test_as_master_store_caches_wrapper(schema, rows):
+    relation = Relation(schema, rows)
+    store = as_master_store(relation)
+    assert isinstance(store, InMemoryStore)
+    assert as_master_store(relation) is store
+    assert as_master_store(store) is store
+    with pytest.raises(TypeError, match="MasterStore or Relation"):
+        as_master_store([("a", "x", 1)])
+
+
+def test_relation_delete_keeps_indexes_consistent(schema, rows):
+    relation = Relation(schema, rows)
+    index = relation.index_on(("k",))
+    assert len(index.get_ref(("a",))) == 2
+    assert relation.delete(rows[0])
+    assert index.get_ref(("a",)) == [rows[2]]
+    assert relation.delete(rows[2])
+    assert not index.contains(("a",))
+    assert not relation.delete(Row(schema, ("zz", "zz", 0)))
+    assert len(relation) == 2
+
+
+def test_hashindex_remove(schema, rows):
+    index = HashIndex(("k",), rows)
+    assert index.remove(rows[0])
+    assert index.get(("a",)) == [rows[2]]
+    assert not index.remove(Row(schema, ("zz", "zz", 0)))
+    assert index.remove(rows[2])
+    assert not index.contains(("a",))
+
+
+def test_relation_rows_copies_iter_rows_does_not(schema, rows):
+    relation = Relation(schema, rows)
+    copied = relation.rows
+    copied.clear()
+    assert len(relation) == 4  # the property is a defensive copy
+    assert list(relation.iter_rows()) == rows
+    assert relation.row_at(2) is relation.rows[2]
+
+
+# -- SqliteStore specifics ----------------------------------------------------
+
+
+def test_sqlite_from_relation_and_disk_path(tmp_path, schema, rows):
+    relation = Relation(schema, rows)
+    path = tmp_path / "master.db"
+    store = SqliteStore.from_relation(relation, path=path)
+    assert list(store) == rows
+    store.close()
+    # reopening the file sees the persisted rows (out-of-core master)
+    reopened = SqliteStore(schema, path=path)
+    assert len(reopened) == 4
+    assert reopened.probe(("k",), ("a",)) == [rows[0], rows[2]]
+    reopened.close()
+
+
+def test_sqlite_existing_path_keeps_rows_unless_fresh(tmp_path, schema, rows):
+    path = tmp_path / "master.db"
+    SqliteStore(schema, rows, path=path).close()
+    # default: reopening with a row source appends (out-of-core reuse is
+    # reopening WITHOUT a source; loaders re-streaming the truth must ask
+    # for a rebuild)
+    appended = SqliteStore(schema, rows, path=path)
+    assert len(appended) == 8
+    appended.close()
+    rebuilt = SqliteStore(schema, rows, path=path, fresh=True)
+    assert len(rebuilt) == 4
+    assert list(rebuilt) == rows
+    rebuilt.close()
+
+
+def test_numeric_keys_probe_identically_across_backends(schema):
+    """2 == 2.0 == True as dict keys in the memory backend; the sqlite
+    codec must reproduce that, not exact-type them apart."""
+    rows = [Row(schema, ("a", "x", 2)), Row(schema, ("b", "y", 1))]
+    memory = InMemoryStore(Relation(schema, rows))
+    sqlite = SqliteStore(schema, rows)
+    for key in ((2,), (2.0,)):
+        assert memory.probe(("n",), key) == sqlite.probe(("n",), key) \
+            == [rows[0]]
+    for key in ((1,), (True,), (1.0,)):
+        assert memory.probe(("n",), key) == sqlite.probe(("n",), key) \
+            == [rows[1]]
+    for key in (("2",), (1.5,)):
+        assert memory.probe(("n",), key) == sqlite.probe(("n",), key) == []
+
+
+def test_sqlite_probe_cache_hits_and_invalidation(schema, rows):
+    store = SqliteStore(schema, rows)
+    store.probe(("k",), ("a",))
+    store.probe(("k",), ("a",))
+    info = store.probe_cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1
+    # mutation drops the cache: the next probe must re-read the table
+    store.insert(Row(schema, ("a", "x", 99)))
+    result = store.probe(("k",), ("a",))
+    assert [tm["n"] for tm in result] == [1, 3, 99]
+    assert store.probe_cache_info()["misses"] == 2
+
+
+def test_sqlite_probe_cache_lru_eviction(schema, rows):
+    store = SqliteStore(schema, rows, probe_cache_size=2)
+    store.probe(("k",), ("a",))
+    store.probe(("k",), ("b",))
+    store.probe(("k",), ("c",))  # evicts ("a",)
+    assert store.probe_cache_info()["size"] == 2
+    store.probe(("k",), ("a",))
+    assert store.probe_cache_info()["misses"] == 4
+
+
+def test_sqlite_unstorable_probe_key_matches_nothing(schema, rows):
+    store = SqliteStore(schema, rows)
+    assert store.probe(("k",), (object(),)) == []
+    assert not store.delete(Row(schema, (object(), "x", 1)))
+
+
+def test_sqlite_rejects_bad_inputs(schema, rows):
+    store = SqliteStore(schema, rows)
+    with pytest.raises(ValueError, match="does not match attribute list"):
+        store.probe(("k", "v"), ("a",))
+    other = RelationSchema("other", ["p", "q"])
+    with pytest.raises(ValueError, match="does not match store"):
+        store.insert(Row(other, ("1", "2")))
+    with pytest.raises(ValueError, match="probe_cache_size"):
+        SqliteStore(schema, probe_cache_size=-1)
+
+
+def test_sqlite_iteration_windows_survive_interleaved_mutation(schema):
+    many = [Row(schema, (f"k{i}", "v", i)) for i in range(2500)]
+    store = SqliteStore(schema, many)
+    seen = 0
+    for i, row in enumerate(store):
+        if i == 0:
+            store.insert(Row(schema, ("late", "v", 9999)))
+        seen += 1
+    assert seen == 2501  # the appended row lands after the current window
