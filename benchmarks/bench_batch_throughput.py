@@ -8,6 +8,15 @@ contender is :class:`repro.repair.batch.BatchRepairEngine` with all shared
 caches enabled (precomputed regions, master indexes, the Suggest⁺ BDD and
 validated-pattern memoization), sequentially and with a thread fan-out.
 
+A second series pins the executor decision rule on a **CPU-bound oracle
+workload** (:class:`repro.repair.oracle.CpuBoundOracle`: feedback that
+computes its answers): the thread fan-out stays GIL-flat there, while the
+process pool (``executor="process"``) scales with physical cores.  The
+process assertion (>= ``--min-process-speedup`` over sequential) is only
+enforced when the machine actually has >= 2 usable cores — on a single
+core no executor can beat sequential, and the series then only checks
+bit-identical output.
+
 Run:  PYTHONPATH=src python benchmarks/bench_batch_throughput.py [--quick]
 
 Not a pytest module on purpose: this is a standalone perf harness whose
@@ -18,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -25,9 +35,16 @@ from pathlib import Path
 from repro.experiments.config import ExperimentConfig, load_workload
 from repro.repair.batch import BatchRepairEngine
 from repro.repair.certainfix import CertainFix
-from repro.repair.oracle import SimulatedUser
+from repro.repair.oracle import CpuBoundOracle, SimulatedUser
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without CPU affinity
+        return os.cpu_count() or 1
 
 
 def _precompute_regions(bundle) -> tuple:
@@ -73,6 +90,92 @@ def _time_batch(bundle, data, regions, concurrency: int) -> dict:
     return out
 
 
+def _time_cpu_bound(bundle, data, regions, executor, workers, cost):
+    """One CPU-bound-oracle run; returns (stats dict, fixed rows).
+
+    Timing includes engine construction — for the process executor that
+    means pool spawn and per-worker rehydration (regions, indexes, memo
+    tables), the real cost a deployment would pay.  ``use_bdd=False`` so
+    sessions are bit-identical across executors by construction and the
+    identity check below is exact.
+    """
+    pairs = [
+        (dt.dirty, CpuBoundOracle(SimulatedUser(dt.clean), cost=cost))
+        for dt in data
+    ]
+    started = time.perf_counter()
+    engine = BatchRepairEngine(
+        bundle.rules, bundle.master, bundle.schema,
+        regions=regions, use_bdd=False, memoize=True,
+        executor=executor, concurrency=workers,
+    )
+    with engine:
+        result = engine.run(pairs)
+    elapsed = time.perf_counter() - started
+    stats = {
+        "executor": executor,
+        "workers": workers,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_tps": round(result.report.tuples / elapsed, 2),
+    }
+    return stats, result.final_rows
+
+
+def _run_cpu_bound_series(quick: bool, workers: int) -> dict:
+    """Sequential vs thread vs process on the CPU-bound oracle workload."""
+    cores = _usable_cores()
+    # Scaled so the oracle/monitoring compute dominates pool spawn and
+    # per-worker rehydration by a wide margin — otherwise the speedup
+    # floor would measure fixed costs, not parallelism.
+    scale = (
+        {"master_size": 600, "input_size": 100}
+        if quick
+        else {"master_size": 1000, "input_size": 150}
+    )
+    cost = 8000 if quick else 10000
+    config = ExperimentConfig(dataset="hosp", **scale)
+    bundle, data = load_workload(config)
+    regions, _ = _precompute_regions(bundle)
+    print(f"[cpu-bound oracle] |Dm|={len(bundle.master)}  |D|={len(data)}  "
+          f"(sha256 chain cost {cost}, {cores} usable core(s))")
+
+    sequential, rows_seq = _time_cpu_bound(
+        bundle, data, regions, "thread", 1, cost
+    )
+    print(f"  sequential       : {sequential['throughput_tps']:8.1f} tuples/s")
+    threaded, rows_thr = _time_cpu_bound(
+        bundle, data, regions, "thread", workers, cost
+    )
+    t_speedup = threaded["throughput_tps"] / sequential["throughput_tps"]
+    print(f"  thread (x{workers})      : {threaded['throughput_tps']:8.1f} "
+          f"tuples/s  ({t_speedup:.2f}x — GIL-bound)")
+    process, rows_proc = _time_cpu_bound(
+        bundle, data, regions, "process", workers, cost
+    )
+    p_speedup = process["throughput_tps"] / sequential["throughput_tps"]
+    print(f"  process (x{workers})     : {process['throughput_tps']:8.1f} "
+          f"tuples/s  ({p_speedup:.2f}x)")
+
+    identical = rows_seq == rows_thr == rows_proc
+    if not identical:
+        raise AssertionError(
+            "executor outputs diverged on the CPU-bound oracle workload"
+        )
+    return {
+        "dataset": "hosp",
+        "master_size": len(bundle.master),
+        "input_size": len(data),
+        "oracle_cost": cost,
+        "usable_cores": cores,
+        "sequential": sequential,
+        f"thread_x{workers}": threaded,
+        f"process_x{workers}": process,
+        "speedup_thread": round(t_speedup, 2),
+        "speedup_process": round(p_speedup, 2),
+        "outputs_identical": identical,
+    }
+
+
 def run(quick: bool, concurrency: int, output: Path) -> dict:
     scale = (
         {"master_size": 600, "input_size": 100}
@@ -115,7 +218,9 @@ def run(quick: bool, concurrency: int, output: Path) -> dict:
         "benchmark": "batch_repair_throughput",
         "mode": "quick" if quick else "full",
         "python": platform.python_version(),
+        "usable_cores": _usable_cores(),
         "results": results,
+        "cpu_bound_oracle": _run_cpu_bound_series(quick, concurrency),
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {output}")
@@ -126,12 +231,18 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smoke scale (|Dm|~600, |D|=100)")
-    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="fan-out width for the thread and process series")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_batch.json")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="fail unless every dataset's sequential batch "
                              "speedup reaches this factor")
+    parser.add_argument("--min-process-speedup", type=float, default=2.0,
+                        help="fail unless the process pool reaches this "
+                             "factor over sequential on the CPU-bound "
+                             "oracle workload (enforced only with >= 2 "
+                             "usable cores)")
     args = parser.parse_args(argv)
 
     payload = run(args.quick, args.concurrency, args.output)
@@ -144,6 +255,27 @@ def main(argv=None) -> int:
         return 1
     print(f"OK: worst sequential speedup {worst:.2f}x "
           f">= {args.min_speedup:.2f}x")
+
+    cpu = payload["cpu_bound_oracle"]
+    workers = args.concurrency
+    # The floor is only meaningful where the hardware can express the
+    # parallelism: N workers can never beat sequential by more than
+    # min(N, cores), so on narrower machines the series is recorded (and
+    # outputs are still verified bit-identical) but the floor is waived.
+    if cpu["usable_cores"] >= workers >= 2:
+        if cpu["speedup_process"] < args.min_process_speedup:
+            print(f"FAIL: process-pool speedup {cpu['speedup_process']:.2f}x "
+                  f"< required {args.min_process_speedup:.2f}x on the "
+                  f"CPU-bound oracle workload")
+            return 1
+        print(f"OK: process-pool speedup {cpu['speedup_process']:.2f}x "
+              f">= {args.min_process_speedup:.2f}x")
+    else:
+        print(f"NOTE: {cpu['usable_cores']} usable core(s) for "
+              f"{workers} worker(s) — process-pool speedup "
+              f"{cpu['speedup_process']:.2f}x recorded but the "
+              f"{args.min_process_speedup:.2f}x floor is not enforced; "
+              f"outputs verified bit-identical across executors")
     return 0
 
 

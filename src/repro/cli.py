@@ -106,6 +106,7 @@ def _cmd_batch_repair(args) -> int:
         master = as_master_store(_load_master_store(args))
         with open(args.rules, encoding="utf-8") as handle:
             rules = rule_io.loads(handle.read())
+        workers = args.workers if args.workers is not None else args.concurrency
         engine = BatchRepairEngine(
             rules,
             master,
@@ -113,11 +114,14 @@ def _cmd_batch_repair(args) -> int:
             use_bdd=not args.no_bdd,
             memoize=not args.no_memoize,
             chunk_size=args.chunk_size,
-            concurrency=args.concurrency,
+            executor=args.executor,
+            concurrency=workers,
+            mp_start_method=args.start_method,
             on_incomplete=args.on_incomplete,
             max_rounds=args.max_rounds,
         )
-        result = engine.run_csv(args.input, clean_path=args.clean)
+        with engine:
+            result = engine.run_csv(args.input, clean_path=args.clean)
     except IncompleteFix as exc:
         print(f"error: {exc}", file=sys.stderr)
         print("hint: raise --max-rounds, or use --on-incomplete keep to "
@@ -201,6 +205,24 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: private in-memory database)",
     )
     batch.add_argument("--chunk-size", type=int, default=256)
+    batch.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="fan-out strategy: 'thread' shares one engine and its caches "
+             "(best for I/O-bound oracles), 'process' rehydrates an engine "
+             "per worker to sidestep the GIL (best for CPU-bound oracles; "
+             "with --master-backend sqlite requires --sqlite-path)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="workers for the chosen executor (alias of --concurrency; "
+             "this spelling wins when both are given)",
+    )
+    batch.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="with --executor process: the multiprocessing start method "
+             "(default: platform default)",
+    )
     batch.add_argument("--concurrency", type=int, default=1)
     batch.add_argument("--max-rounds", type=int, default=12)
     batch.add_argument(

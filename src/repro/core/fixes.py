@@ -141,7 +141,7 @@ def applicable_pairs(
         key = tuple(assignment[a] for a in rule.lhs)
         if any(v is UNKNOWN for v in key):
             continue
-        for tm in master.probe(rule.lhs_m, key):
+        for tm in master.probe_ref(rule.lhs_m, key):
             if rule.master_guard.matches(tm):
                 yield rule, tm
 
@@ -236,7 +236,7 @@ def chase(
             if any(v is UNKNOWN for v in key):
                 exhausted[i] = True
                 continue
-            matches = master.probe(rule.lhs_m, key)
+            matches = master.probe_ref(rule.lhs_m, key)
             exhausted[i] = True
             for tm in matches:
                 if not rule.master_guard.matches(tm):
@@ -284,7 +284,7 @@ def chase(
         key = tuple(assignment[a] for a in rule.lhs)
         if any(v is UNKNOWN for v in key):
             continue
-        for tm in master.probe(rule.lhs_m, key):
+        for tm in master.probe_ref(rule.lhs_m, key):
             if not rule.master_guard.matches(tm):
                 continue
             value = tm[rule.rhs_m]

@@ -30,8 +30,10 @@ from repro.engine.query import equi_join, natural_join, project, rename, select
 from repro.engine.relation import Relation
 from repro.engine.store import (
     InMemoryStore,
+    MemoryStoreHandle,
     MasterStore,
     SqliteStore,
+    SqliteStoreHandle,
     as_master_store,
 )
 from repro.engine.schema import (
@@ -52,6 +54,7 @@ __all__ = [
     "HashIndex",
     "INT",
     "InMemoryStore",
+    "MemoryStoreHandle",
     "MasterStore",
     "NULL",
     "Relation",
@@ -60,6 +63,7 @@ __all__ = [
     "SOURCE_ID",
     "STRING",
     "SqliteStore",
+    "SqliteStoreHandle",
     "UNKNOWN",
     "as_master_store",
     "combine_masters",

@@ -68,6 +68,33 @@ class Relation:
             index.remove(row)
         return True
 
+    def replace_all(self, rows: Iterable, mutation_count: int = None) -> None:
+        """Swap in a whole new row list (and optionally the mutation counter).
+
+        The bulk counterpart of ``insert``/``delete`` used by the
+        process-pool resync protocol: cached hash indexes are dropped
+        (rebuilt lazily on the next lookup) and the mutation counter either
+        advances by one (the default — a replace is one logical mutation)
+        or jumps to *mutation_count* verbatim, which is how a worker's
+        rebuilt master adopts the parent process's version stamp.
+        """
+        new_rows = []
+        for row in rows:
+            if not isinstance(row, Row):
+                row = Row(self.schema, row)
+            elif row.schema.attributes != self.schema.attributes:
+                raise ValueError(
+                    f"row schema {row.schema.name!r} does not match relation "
+                    f"schema {self.schema.name!r}"
+                )
+            new_rows.append(row)
+        self._rows = new_rows
+        self._indexes = {}
+        if mutation_count is None:
+            self._mutations += 1
+        else:
+            self._mutations = mutation_count
+
     # -- access ----------------------------------------------------------------
 
     @property

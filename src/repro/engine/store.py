@@ -26,6 +26,16 @@ Mutation contract: route every master mutation through the store (or, for
 ``delete``, which feed the same counter).  ``update`` is delete-then-insert
 in every backend, so a replaced tuple moves to iteration end identically
 everywhere — keeping fix output bit-identical per backend.
+
+Process boundaries: sqlite connections (and, for that matter, a worker's
+private copy of an in-memory master) cannot cross a ``fork``/``spawn``
+boundary, so stores that can be rehydrated in another process implement
+:meth:`MasterStore.detach`, returning a picklable handle whose
+``reattach()`` re-opens the backend there — carrying the parent's version
+stamp so the worker's derived caches line up with the parent's version
+stream.  The batch engine's process pool ships one handle per worker via
+the pool initializer and re-syncs per chunk with
+:meth:`InMemoryStore.reset_rows` / :meth:`SqliteStore.sync_version`.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ import sqlite3
 import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.engine.relation import Relation
@@ -76,13 +87,48 @@ class MasterStore(ABC):
         """Iterate master tuples in insertion order."""
 
     @abstractmethod
-    def probe(self, attrs: Iterable, key) -> list:
+    def probe(self, attrs: Iterable, key) -> tuple:
         """Master tuples ``tm`` with ``tm[attrs] == key`` (Sect. 5.1).
 
-        The hot path of every repair probe.  The result is read-only: it
-        may alias an internal bucket or cache entry and MUST NOT be
-        mutated by the caller.
+        The hot path of every repair probe.  Returns an immutable tuple:
+        callers can never corrupt an internal bucket or cache entry by
+        mutating the result (backends used to hand out aliases of their
+        cache lines under a doc-only "read-only" contract; now the type
+        system enforces it).  Hot paths that want to skip even the
+        cache-miss copy can use :meth:`probe_ref`.
         """
+
+    def probe_ref(self, attrs: Iterable, key):
+        """No-copy variant of :meth:`probe` for read-only hot paths.
+
+        Mirrors the ``HashIndex.get`` / ``get_ref`` split: the result may
+        alias internal state (a hash bucket, a cache entry) and MUST NOT
+        be mutated.  The default simply forwards to :meth:`probe` (already
+        alias-free); backends override when they have a cheaper aliasing
+        path.
+        """
+        return self.probe(attrs, key)
+
+    def probe_many(self, attrs: Iterable, keys: Iterable) -> dict:
+        """Batched probe: ``{tuple(key): self.probe(attrs, key)}`` per key.
+
+        Backends with per-probe round-trip cost (sqlite, and any future
+        remote store) override this with a single batched plan; the
+        default loops over :meth:`probe`.  Duplicate keys collapse onto
+        one entry.  The batch engine's process-pool chunk warm-up calls
+        this with every rule key of a chunk to amortize round-trips.
+        """
+        attrs = tuple(attrs)
+        out: dict = {}
+        for key in keys:
+            key = tuple(key)
+            if len(key) != len(attrs):
+                raise ValueError(
+                    f"probe key {key} does not match attribute list {attrs}"
+                )
+            if key not in out:
+                out[key] = self.probe(attrs, key)
+        return out
 
     @abstractmethod
     def ensure_index(self, attrs: Iterable) -> None:
@@ -94,13 +140,40 @@ class MasterStore(ABC):
 
     def contains_key(self, attrs: Iterable, key) -> bool:
         """Whether any master tuple matches ``tm[attrs] == key``."""
-        return bool(self.probe(attrs, key))
+        return bool(self.probe_ref(attrs, key))
 
-    def scan_probe(self, attrs: Iterable, key) -> list:
+    def scan_probe(self, attrs: Iterable, key) -> tuple:
         """Index-free probe (the ablation A2 baseline)."""
         attrs = tuple(attrs)
         key = tuple(key)
-        return [tm for tm in self if tm[attrs] == key]
+        return tuple(tm for tm in self if tm[attrs] == key)
+
+    # -- process-boundary protocol -------------------------------------------
+
+    #: Whether worker processes reattached from a handle observe this
+    #: store's mutations through shared storage (a database file).  False
+    #: means a resync must ship the rows themselves (see the batch
+    #: engine's per-chunk snapshot protocol).
+    shares_storage_across_processes = False
+
+    #: Whether :meth:`probe_many` is cheaper than a probe loop here (drives
+    #: the batch engine's chunk warm-up; pure-RAM backends gain nothing).
+    supports_batched_probes = False
+
+    def detach(self):
+        """A picklable handle that rehydrates this store in another process.
+
+        Returns an object with a ``reattach() -> MasterStore`` method and a
+        ``version`` attribute equal to this store's version at detach time
+        (the reattached store starts at that stamp, so version-stamped
+        caches built against it compare correctly with the parent's
+        version stream).  Backends that cannot cross a process boundary
+        raise ``ValueError`` with a remedy.
+        """
+        raise ValueError(
+            f"{type(self).__name__} does not support crossing a "
+            f"fork/spawn boundary (no detach() implementation)"
+        )
 
     # -- write API -----------------------------------------------------------
 
@@ -129,11 +202,11 @@ class MasterStore(ABC):
 
     # -- Relation-compatible aliases -----------------------------------------
 
-    def lookup(self, attrs: Iterable, key) -> list:
+    def lookup(self, attrs: Iterable, key) -> tuple:
         """Alias of :meth:`probe` (``Relation``-compatible spelling)."""
         return self.probe(attrs, key)
 
-    def scan_lookup(self, attrs: Iterable, key) -> list:
+    def scan_lookup(self, attrs: Iterable, key) -> tuple:
         """Alias of :meth:`scan_probe` (``Relation``-compatible spelling)."""
         return self.scan_probe(attrs, key)
 
@@ -184,7 +257,13 @@ class InMemoryStore(MasterStore):
     def __iter__(self) -> Iterator[Row]:
         return self._relation.iter_rows()
 
-    def probe(self, attrs: Iterable, key) -> list:
+    def probe(self, attrs: Iterable, key) -> tuple:
+        # The relation's lookup aliases the live index bucket (it shrinks
+        # under deletes and grows under inserts); the public probe hands
+        # out an immutable snapshot instead.
+        return tuple(self._relation.lookup(attrs, key))
+
+    def probe_ref(self, attrs: Iterable, key):
         return self._relation.lookup(attrs, key)
 
     def ensure_index(self, attrs: Iterable) -> None:
@@ -193,14 +272,41 @@ class InMemoryStore(MasterStore):
     def active_values(self, attr: str) -> set:
         return self._relation.active_values(attr)
 
-    def scan_probe(self, attrs: Iterable, key) -> list:
-        return self._relation.scan_lookup(attrs, key)
+    def scan_probe(self, attrs: Iterable, key) -> tuple:
+        return tuple(self._relation.scan_lookup(attrs, key))
 
     def insert(self, row) -> None:
         self._relation.insert(row)
 
     def delete(self, row) -> bool:
         return self._relation.delete(row)
+
+    # -- process-boundary protocol -------------------------------------------
+
+    def detach(self) -> "MemoryStoreHandle":
+        """Snapshot (schema, rows, version) into a picklable handle.
+
+        The snapshot is by value: a worker's reattached copy does NOT see
+        later parent mutations — after a version move the batch engine
+        ships a fresh snapshot with every dispatched chunk until all
+        workers have acknowledged the new stamp (each worker applies it
+        at most once; see ``BatchRepairEngine._task_for``).
+        """
+        return MemoryStoreHandle(
+            schema=self.schema,
+            rows=tuple(self._relation.iter_rows()),
+            version=self.version,
+        )
+
+    def reset_rows(self, rows: Iterable, version: int) -> None:
+        """Replace the master contents and jump to the parent's *version*.
+
+        The worker-side half of the snapshot resync protocol: indexes and
+        the store wrapper survive (rebuilt lazily), and the version stamp
+        is taken verbatim from the parent so every derived cache stamped
+        with an older version invalidates on the next compare.
+        """
+        self._relation.replace_all(rows, mutation_count=version)
 
 
 # -- sqlite value codec --------------------------------------------------------
@@ -290,6 +396,7 @@ class SqliteStore(MasterStore):
                 f"probe_cache_size must be >= 0, got {probe_cache_size}"
             )
         self._schema = schema
+        self._path = None if path is None else str(path)
         self._columns = [f"c{i}" for i in range(len(schema))]
         self._lock = threading.RLock()
         # Autocommit: every mutation is durable immediately (a closed
@@ -375,7 +482,7 @@ class SqliteStore(MasterStore):
             )
             self._indexed.add(name)
 
-    def probe(self, attrs: Iterable, key) -> list:
+    def probe(self, attrs: Iterable, key) -> tuple:
         attrs = tuple(attrs)
         key = tuple(key)
         if len(attrs) != len(key):
@@ -388,6 +495,9 @@ class SqliteStore(MasterStore):
             if cached is not None:
                 self._probe_hits += 1
                 self._probe_cache.move_to_end(cache_key)
+                # Cache lines are tuples, so handing out the cached object
+                # itself is safe: no caller can corrupt the cache by
+                # mutating a probe result (they used to be shared lists).
                 return cached
             self._probe_misses += 1
         select = self._probe_plans.get(attrs)
@@ -402,30 +512,117 @@ class SqliteStore(MasterStore):
         try:
             encoded = [_encode(v) for v in key]
         except TypeError:
-            return []  # unstorable value (e.g. FreshValue) matches nothing
+            return ()  # unstorable value (e.g. FreshValue) matches nothing
         with self._lock:
             records = self._db.execute(select, encoded).fetchall()
-            result = [
+            result = tuple(
                 Row(self._schema, [_decode(cell) for cell in record])
                 for record in records
-            ]
-            if self._probe_cache_size:
-                self._probe_cache[cache_key] = result
-                while len(self._probe_cache) > self._probe_cache_size:
-                    self._probe_cache.popitem(last=False)
+            )
+            self._cache_probe(cache_key, result)
         return result
+
+    def _cache_probe(self, cache_key: tuple, result: tuple) -> None:
+        """Insert one (attrs, key) -> rows tuple line; evict LRU overflow.
+
+        Caller holds ``self._lock``.
+        """
+        if not self._probe_cache_size:
+            return
+        self._probe_cache[cache_key] = result
+        while len(self._probe_cache) > self._probe_cache_size:
+            self._probe_cache.popitem(last=False)
+
+    #: How many probe keys one batched ``IN``-clause statement may carry;
+    #: bounded so ``len(attrs) * _PROBE_BATCH`` stays far below sqlite's
+    #: host-parameter limit (999 in older builds).
+    _PROBE_BATCH = 200
+
+    def probe_many(self, attrs: Iterable, keys: Iterable) -> dict:
+        """Batched probe with one ``IN``-clause round-trip per key block.
+
+        Semantically identical to a :meth:`probe` loop (results land in the
+        LRU cache too, which is what the batch engine's chunk warm-up is
+        after), but misses are fetched with
+        ``WHERE (c1, ..., ck) IN (VALUES ...)`` over blocks of keys instead
+        of one SELECT per key.
+        """
+        attrs = tuple(attrs)
+        out: dict = {}
+        pending: list = []  # (original key, encoded key) cache misses
+        with self._lock:
+            for key in keys:
+                key = tuple(key)
+                if len(attrs) != len(key):
+                    raise ValueError(
+                        f"probe key {key} does not match attribute list "
+                        f"{attrs}"
+                    )
+                if key in out:
+                    continue
+                cached = self._probe_cache.get((attrs, key))
+                if cached is not None:
+                    self._probe_hits += 1
+                    self._probe_cache.move_to_end((attrs, key))
+                    out[key] = cached
+                    continue
+                self._probe_misses += 1
+                try:
+                    out[key] = ()  # filled below when rows come back
+                    pending.append((key, tuple(_encode(v) for v in key)))
+                except TypeError:
+                    pass  # unstorable key matches nothing; stays ()
+        if not pending:
+            return out
+        self.ensure_index(attrs)
+        columns = [self._column_of(a) for a in attrs]
+        key_expr = (
+            f"({', '.join(columns)})" if len(columns) > 1 else columns[0]
+        )
+        placeholder = (
+            "(" + ", ".join("?" for _ in columns) + ")"
+            if len(columns) > 1
+            else "?"
+        )
+        # Group returned records by their encoded key positions; a key that
+        # repeats one column with two different values can never come back
+        # (the IN row-value constrains every position), so positional
+        # grouping is exact even for repeated attrs.
+        positions = [self._schema.index_of(a) for a in attrs]
+        with self._lock:
+            for start in range(0, len(pending), self._PROBE_BATCH):
+                block = pending[start:start + self._PROBE_BATCH]
+                select = (
+                    f"SELECT {', '.join(self._columns)} FROM master "
+                    f"WHERE {key_expr} IN "
+                    f"({', '.join(placeholder for _ in block)}) "
+                    f"ORDER BY rid"
+                )
+                params = [cell for _, encoded in block for cell in encoded]
+                grouped: dict = {}  # encoded key -> list of Rows
+                for record in self._db.execute(select, params).fetchall():
+                    enc = tuple(record[p] for p in positions)
+                    grouped.setdefault(enc, []).append(
+                        Row(self._schema, [_decode(c) for c in record])
+                    )
+                for key, encoded in block:
+                    rows = tuple(grouped.get(encoded, ()))
+                    out[key] = rows
+                    self._cache_probe((attrs, key), rows)
+        return out
 
     def active_values(self, attr: str) -> set:
         with self._lock:
             cached = self._active_cache.get(attr)
-            if cached is not None:
-                return cached
-            records = self._db.execute(
-                f"SELECT DISTINCT {self._column_of(attr)} FROM master"
-            ).fetchall()
-            values = {_decode(record[0]) for record in records}
-            self._active_cache[attr] = values
-        return values
+            if cached is None:
+                records = self._db.execute(
+                    f"SELECT DISTINCT {self._column_of(attr)} FROM master"
+                ).fetchall()
+                cached = {_decode(record[0]) for record in records}
+                self._active_cache[attr] = cached
+        # Copy: the in-memory backend hands out a fresh set per call, and a
+        # caller mutating the cached set must not poison later calls.
+        return set(cached)
 
     def probe_cache_info(self) -> dict:
         """LRU accounting for the benchmark layer."""
@@ -436,6 +633,53 @@ class SqliteStore(MasterStore):
                 "size": len(self._probe_cache),
                 "maxsize": self._probe_cache_size,
             }
+
+    # -- process-boundary protocol -------------------------------------------
+
+    supports_batched_probes = True
+
+    @property
+    def shares_storage_across_processes(self) -> bool:
+        return self._path is not None
+
+    def detach(self) -> "SqliteStoreHandle":
+        """A picklable handle re-opening this database in another process.
+
+        Only file-backed stores can cross the boundary: a private
+        ``:memory:`` database exists in exactly one connection, so there is
+        nothing a worker could re-open.
+        """
+        if self._path is None:
+            raise ValueError(
+                "an in-memory SqliteStore cannot cross a fork/spawn "
+                "boundary: give the store a database file (path=... / "
+                "--sqlite-path) so workers can re-open it"
+            )
+        return SqliteStoreHandle(
+            schema=self._schema,
+            path=self._path,
+            probe_cache_size=self._probe_cache_size,
+            version=self._version,
+        )
+
+    def sync_version(self, version: int) -> None:
+        """Adopt the parent's *version* after it mutated the shared file.
+
+        The worker-side half of the resync protocol for file-backed
+        stores: the data itself arrives through the database file (every
+        parent mutation is autocommitted), so the worker only needs to
+        drop its connection-local caches and re-read the row count.  A
+        no-op when the stamp already matches.
+        """
+        with self._lock:
+            if version == self._version:
+                return
+            self._version = version
+            self._probe_cache.clear()
+            self._active_cache.clear()
+            self._count = self._db.execute(
+                "SELECT COUNT(*) FROM master"
+            ).fetchone()[0]
 
     # -- mutation ------------------------------------------------------------
 
@@ -522,6 +766,54 @@ class SqliteStore(MasterStore):
     def close(self) -> None:
         with self._lock:
             self._db.close()
+
+
+# -- picklable store handles ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemoryStoreHandle:
+    """By-value snapshot of an :class:`InMemoryStore` for worker rehydration."""
+
+    schema: RelationSchema
+    rows: tuple
+    version: int
+
+    def reattach(self) -> InMemoryStore:
+        """Rebuild the store in this process, stamped at the parent version.
+
+        ``replace_all`` (rather than per-row inserts) so the relation's
+        mutation counter lands exactly on the parent's stamp and
+        version-stamped caches compare against the parent's version
+        stream, not the reload's.
+        """
+        store = InMemoryStore.from_rows(self.schema)
+        store.relation.replace_all(self.rows, mutation_count=self.version)
+        return store
+
+
+@dataclass(frozen=True)
+class SqliteStoreHandle:
+    """Connection-free reference to a file-backed :class:`SqliteStore`."""
+
+    schema: RelationSchema
+    path: str
+    probe_cache_size: int
+    version: int
+
+    def reattach(self) -> SqliteStore:
+        """Open a fresh connection to the shared database file.
+
+        The reattached store starts at the parent's version stamp;
+        :meth:`SqliteStore.sync_version` moves it when the parent mutates
+        the file mid-batch.
+        """
+        store = SqliteStore(
+            self.schema, path=self.path,
+            probe_cache_size=self.probe_cache_size,
+        )
+        store._version = self.version
+        return store
 
 
 def as_master_store(master) -> MasterStore:

@@ -20,6 +20,7 @@ from repro.repair.batch import (
     BatchRepairEngine,
     BatchReport,
     BatchResult,
+    EngineSpec,
     MemoStats,
 )
 from repro.repair.bdd import SuggestionCache
@@ -30,7 +31,12 @@ from repro.repair.certainfix import (
     RoundLog,
     ValidationFailed,
 )
-from repro.repair.oracle import LyingUser, ScriptedUser, SimulatedUser
+from repro.repair.oracle import (
+    CpuBoundOracle,
+    LyingUser,
+    ScriptedUser,
+    SimulatedUser,
+)
 from repro.repair.region_search import (
     CertainRegionCandidate,
     comp_c_region,
@@ -45,6 +51,8 @@ __all__ = [
     "BatchResult",
     "CertainFix",
     "CertainRegionCandidate",
+    "CpuBoundOracle",
+    "EngineSpec",
     "FixSession",
     "IncompleteFix",
     "LyingUser",

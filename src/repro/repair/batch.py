@@ -22,25 +22,45 @@ adds the throughput layer on top of :class:`repro.repair.certainfix.CertainFix`:
   no longer poison the shared caches;
 * **chunked execution** — the input stream is consumed in bounded chunks
   (generators welcome: CSV ingestion never materializes the workload), with
-  an optional thread fan-out over the read-only master state;
+  an optional thread or process fan-out over the read-only master state;
 * **structured reporting** — :class:`BatchReport` carries throughput,
   rounds per tuple and per-cache hit rates for the perf trajectory.
+
+Choosing an executor (``executor="thread"`` vs ``"process"``): monitoring is
+embarrassingly parallel per dirty tuple — master data and Σ are read-only
+while a tuple is fixed — but Python threads share one GIL.  The decision
+rule is about where a session spends its time: an **I/O-bound oracle**
+(live users, a feedback service over the network) releases the GIL while it
+waits, so threads scale and cost nothing to set up; a **CPU-bound oracle**
+(scoring models, simulated users over large masters — any workload where
+the chase/TransFix/oracle arithmetic dominates) keeps the GIL busy, and
+only a process pool buys real cores.  The process pool ships a picklable
+:class:`EngineSpec` to each worker once (pool initializer), where it is
+rehydrated — certain regions, master indexes and memo tables are rebuilt
+per worker — so expect a per-worker warm-up cost that pays off on streams
+much longer than ``workers × chunk_size``.
 
 Determinism: with ``concurrency=1`` the engine produces sessions identical
 to :meth:`CertainFix.fix_stream` on the same inputs.  With ``concurrency >
 1`` each tuple is still monitored independently; without the BDD cache the
 result is bit-identical to the sequential run (suggestions are pure
-functions of ``(t, Z')``), while with the BDD cache the *suggestion order*
-may vary with thread interleaving but every produced fix remains a certain
-fix (tests pin both properties).
+functions of ``(t, Z')``) under both executors, while with the BDD cache
+the *suggestion order* may vary with thread interleaving or with how
+chunks land on workers, but every produced fix remains a certain fix and
+the fixed rows are identical (tests pin both properties).  Chunks are
+dispatched to the process pool with stable sequence numbers and merged in
+submission order, so results always come back in stream order.
 """
 
 from __future__ import annotations
 
 import itertools
+import multiprocessing
+import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -91,6 +111,13 @@ class BatchReport:
     elapsed: float = 0.0
     concurrency: int = 1
     chunk_size: int = 0
+    executor: str = "thread"
+    workers: int = 1
+    #: Process-pool runs only: per-worker breakdown keyed by worker label
+    #: (``pid-<n>``), each value a flat dict of chunk/tuple counts and
+    #: memo-table hit/miss counters.  Empty for thread runs (all threads
+    #: share one set of caches, so there is nothing per-worker to split).
+    worker_stats: dict = field(default_factory=dict)
     regions_precomputed: int = 0
     chase_memo: MemoStats = field(default_factory=MemoStats)
     transfix_memo: MemoStats = field(default_factory=MemoStats)
@@ -123,6 +150,19 @@ class BatchReport:
             "chunks": self.chunks,
             "chunk_size": self.chunk_size,
             "concurrency": self.concurrency,
+            "executor": self.executor,
+            "workers": self.workers,
+            "worker_stats": {
+                worker: dict(stats, **{
+                    "chase_hit_rate": round(_rate(
+                        stats["chase_hits"], stats["chase_misses"]
+                    ), 4),
+                    "transfix_hit_rate": round(_rate(
+                        stats["transfix_hits"], stats["transfix_misses"]
+                    ), 4),
+                })
+                for worker, stats in self.worker_stats.items()
+            },
             "elapsed_s": round(self.elapsed, 6),
             "throughput_tps": round(self.throughput, 2),
             "regions_precomputed": self.regions_precomputed,
@@ -149,7 +189,7 @@ class BatchReport:
         lines = [
             f"monitored {self.tuples} tuples in {self.elapsed:.3f}s "
             f"({self.throughput:.1f} tuples/s, {self.chunks} chunks, "
-            f"concurrency {self.concurrency})",
+            f"{self.executor} executor, {self.workers} worker(s))",
             f"rounds/tuple: {self.mean_rounds:.2f}  "
             f"completed: {self.completed}  incomplete: {self.incomplete}",
             f"chase memo: {self.chase_memo.hit_rate:.0%} hit "
@@ -169,7 +209,21 @@ class BatchReport:
                 f"{self.cache_invalidations} time(s) "
                 f"(store version {self.master_version})"
             )
+        for worker, stats in sorted(self.worker_stats.items()):
+            lines.append(
+                f"  {worker}: {stats['tuples']} tuples in "
+                f"{stats['chunks']} chunk(s), chase "
+                f"{_rate(stats['chase_hits'], stats['chase_misses']):.0%} "
+                f"hit, transfix "
+                f"{_rate(stats['transfix_hits'], stats['transfix_misses']):.0%} "
+                f"hit"
+            )
         return "\n".join(lines)
+
+
+def _rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
 
 
 @dataclass
@@ -295,6 +349,125 @@ def _chunked(iterable: Iterable, size: int):
         yield chunk
 
 
+# -- process-pool fan-out ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything a worker process needs to rebuild the repair engine.
+
+    Pickled exactly once per worker (through the pool initializer, not per
+    chunk): rules and schema by value, the master through a
+    :meth:`~repro.engine.store.MasterStore.detach` handle — sqlite
+    connections cannot cross a fork/spawn boundary, so the handle re-opens
+    the database file in the worker, while an in-memory master ships its
+    rows by value.  ``build()`` rehydrates the engine: certain regions,
+    master probe indexes and the memo tables are rebuilt per worker against
+    the handle's version stamp, so the parent's and every worker's caches
+    sit on one shared version stream.
+    """
+
+    rules: tuple
+    schema: RelationSchema
+    store_handle: object
+    use_bdd: bool
+    memoize: bool
+    engine_options: tuple  # sorted (name, value) pairs, picklable
+
+    def build(self) -> "_MemoCertainFix":
+        store = self.store_handle.reattach()
+        engine = _MemoCertainFix(
+            list(self.rules), store, self.schema,
+            use_bdd=self.use_bdd, memoize=self.memoize,
+            **dict(self.engine_options),
+        )
+        engine.regions  # noqa: B018 — precompute before the first chunk
+        return engine
+
+
+#: The rehydrated engine of this worker process (set by the initializer).
+_WORKER_ENGINE = None
+
+
+def _process_worker_init(spec: EngineSpec) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = spec.build()
+
+
+def _warm_chunk_probes(engine, pairs) -> None:
+    """Batch-probe every rule key of the chunk before monitoring starts.
+
+    Only called for stores with round-trip probe cost
+    (``supports_batched_probes``): one ``IN``-clause plan per rule fills
+    the probe cache with exactly the keys the chase/TransFix loops are
+    about to ask for, amortizing what would otherwise be one SELECT per
+    (tuple, rule).
+    """
+    store = engine.store
+    for rule in engine.rules:
+        keys = {row[rule.lhs] for row, _ in pairs}
+        if keys:
+            store.probe_many(rule.lhs_m, keys)
+
+
+def _process_worker_chunk(task: tuple) -> dict:
+    """Monitor one chunk in this worker; returns sessions + stats deltas.
+
+    ``task`` is ``(seq, pairs, version, snapshot)``.  *version* is the
+    parent store's version when the chunk was dispatched; when it differs
+    from this worker's store the master mutated mid-batch, and the worker
+    resyncs before monitoring — through the shared database file for
+    sqlite (*snapshot* is None), or from the shipped row *snapshot* for
+    in-memory masters — so a mid-batch master update still invalidates
+    every worker's version-stamped caches.
+    """
+    seq, pairs, version, snapshot = task
+    engine = _WORKER_ENGINE
+    store = engine.store
+    invalidations0 = engine.cache_invalidations
+    # Strictly newer only: tasks are dispatched through one FIFO queue, so
+    # dispatch versions arrive monotonically; the guard is belt-and-braces
+    # against ever "syncing" a worker backwards.
+    if version > store.version:
+        if snapshot is not None:
+            store.reset_rows(snapshot, version)
+        else:
+            store.sync_version(version)
+        engine.resync_master()
+    if store.supports_batched_probes:
+        _warm_chunk_probes(engine, pairs)
+    chase0 = engine.chase_stats.snapshot()
+    transfix0 = engine.transfix_stats.snapshot()
+    suggestion = engine.cache_stats
+    sugg_hits0 = suggestion.hits if suggestion is not None else 0
+    sugg_misses0 = suggestion.misses if suggestion is not None else 0
+
+    sessions = [engine.fix(row, oracle) for row, oracle in pairs]
+
+    suggestion = engine.cache_stats
+    return {
+        "seq": seq,
+        "worker": f"pid-{os.getpid()}",
+        "sessions": sessions,
+        "chase": (
+            engine.chase_stats.hits - chase0.hits,
+            engine.chase_stats.misses - chase0.misses,
+        ),
+        "transfix": (
+            engine.transfix_stats.hits - transfix0.hits,
+            engine.transfix_stats.misses - transfix0.misses,
+        ),
+        "suggestions": (
+            (suggestion.hits - sugg_hits0) if suggestion is not None else 0,
+            (suggestion.misses - sugg_misses0) if suggestion is not None else 0,
+        ),
+        "invalidations": engine.cache_invalidations - invalidations0,
+        # Ack: lets the parent stop attaching snapshots once every worker
+        # has confirmed the post-mutation stamp.
+        "store_version": store.version,
+    }
+
+
 class BatchRepairEngine:
     """Monitor thousands of dirty tuples through CertainFix at throughput.
 
@@ -320,17 +493,34 @@ class BatchRepairEngine:
         validated pattern (default on).
     chunk_size:
         How many stream elements to pull per execution chunk.
+    executor:
+        ``"thread"`` (default) fans chunks out to worker threads sharing
+        one engine and all caches; ``"process"`` fans chunks out to a pool
+        of worker processes, each rehydrating its own engine from a
+        picklable :class:`EngineSpec` (see the module docstring for the
+        decision rule: I/O-bound oracle → threads, CPU-bound → processes).
+        Process mode requires rows and oracles to be picklable, and a
+        sqlite master to be file-backed (``path=...``), since its handle
+        is re-opened per worker.
     concurrency:
-        Worker threads per chunk (1 = sequential).  Workers share the
-        read-only master state and all caches.  Threads pay off when the
-        oracle blocks on I/O (live users, feedback services); for purely
-        CPU-bound simulated oracles the GIL keeps throughput flat.
+        Workers per chunk (1 = sequential for the thread executor).
+        Threads share the read-only master state and all caches; processes
+        each hold their own copy, so per-run reports aggregate per-worker
+        stats instead (``BatchReport.worker_stats``).
+    mp_start_method:
+        Process executor only: the :mod:`multiprocessing` start method
+        (``"fork"``, ``"spawn"``, ``"forkserver"``; None = platform
+        default).
     on_incomplete:
         ``"keep"`` returns truncated sessions (``completed=False``) in
         place; ``"raise"`` surfaces the first one as :class:`IncompleteFix`.
     engine_options:
         Forwarded to the underlying :class:`CertainFix` (``max_rounds``,
         ``max_revisions``, ``validate_uniqueness``, ...).
+
+    A process pool is created lazily on the first ``run()`` and reused
+    across runs (workers keep their warmed caches); call :meth:`close` (or
+    use the engine as a context manager) to shut it down deterministically.
     """
 
     def __init__(
@@ -342,7 +532,9 @@ class BatchRepairEngine:
         use_bdd: bool = True,
         memoize: bool = True,
         chunk_size: int = 256,
+        executor: str = "thread",
         concurrency: int = 1,
+        mp_start_method: str = None,
         on_incomplete: str = "keep",
         **engine_options,
     ):
@@ -350,26 +542,40 @@ class BatchRepairEngine:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         if on_incomplete not in ("keep", "raise"):
             raise ValueError(
                 f"on_incomplete must be 'keep' or 'raise', "
                 f"got {on_incomplete!r}"
             )
         self.chunk_size = chunk_size
+        self.executor = executor
         self.concurrency = concurrency
+        self.mp_start_method = mp_start_method
         self.on_incomplete = on_incomplete
         # Non-BDD streams get the suggest memo (ROADMAP follow-up): same
         # validated-pattern key as the chase/TransFix memos, same versioned
         # invalidation.  With the BDD on, the cursor path serves suggestions
         # and the memo would be dead weight.
         engine_options.setdefault("memoize_suggest", memoize and not use_bdd)
+        self._use_bdd = use_bdd
+        self._memoize = memoize
+        self._engine_options = dict(engine_options)
         self._engine = _MemoCertainFix(
             rules, master, schema,
             regions=regions, use_bdd=use_bdd, memoize=memoize,
             **engine_options,
         )
-        if concurrency > 1 and use_bdd:
+        if executor == "thread" and concurrency > 1 and use_bdd:
             self._engine._bdd_lock = threading.Lock()
+        self._pool = None
+        self._pool_version = None  # newest version every worker is known
+        #                            to hold (starts at the spec's stamp)
+        self._worker_versions = {}  # worker label -> last acked version
+        self._snapshot_cache = None  # (version, rows) for in-memory resync
         # Precompute everything shareable up front so run() never pays
         # per-session setup: regions (CertainFix builds master indexes in
         # its own constructor already).
@@ -389,14 +595,179 @@ class BatchRepairEngine:
         """
         return self._engine.store
 
+    # -- process-pool lifecycle ------------------------------------------------
+
+    def _make_spec(self) -> EngineSpec:
+        return EngineSpec(
+            rules=tuple(self._engine.rules),
+            schema=self._engine.schema,
+            store_handle=self._engine.store.detach(),
+            use_bdd=self._use_bdd,
+            memoize=self._memoize,
+            engine_options=tuple(sorted(self._engine_options.items())),
+        )
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            spec = self._make_spec()
+            context = multiprocessing.get_context(self.mp_start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.concurrency,
+                mp_context=context,
+                initializer=_process_worker_init,
+                initargs=(spec,),
+            )
+            self._pool_version = spec.store_handle.version
+            self._worker_versions = {}
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the process pool down (no-op for the thread executor).
+
+        The engine stays usable: the next process run builds a fresh pool
+        (workers re-warm from the then-current master state).
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_version = None
+            self._worker_versions = {}
+
+    def __enter__(self) -> "BatchRepairEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _task_for(self, seq: int, chunk: list) -> tuple:
+        """Build one worker task, attaching the master-resync payload.
+
+        Every task carries the parent store's current version.  When it is
+        newer than ``_pool_version`` (the newest stamp every worker is
+        known to hold) and the backend does not share storage across
+        processes (in-memory masters), the task also ships a row snapshot
+        so whichever worker picks it up can rebuild — workers skip the
+        resync when their stamp already matches, and once all
+        ``concurrency`` workers have acked the new stamp through their
+        chunk results, ``_pool_version`` catches up and snapshots stop
+        shipping (a late-spawning worker rehydrates from the original
+        spec, so the ack must come from every worker, not just the ones
+        seen so far).
+        """
+        store = self._engine.store
+        version = store.version
+        snapshot = None
+        if (
+            version != self._pool_version
+            and not store.shares_storage_across_processes
+        ):
+            acked = sum(
+                1 for v in self._worker_versions.values() if v >= version
+            )
+            if acked >= self.concurrency:
+                self._pool_version = version
+            else:
+                if self._snapshot_cache is None or \
+                        self._snapshot_cache[0] != version:
+                    self._snapshot_cache = (version, tuple(store))
+                snapshot = self._snapshot_cache[1]
+        return (seq, chunk, version, snapshot)
+
     # -- execution -------------------------------------------------------------
 
     def run(self, pairs: Iterable) -> BatchResult:
         """Monitor a stream of ``(dirty_row, oracle)`` pairs.
 
         The stream is consumed lazily in chunks of ``chunk_size``; sessions
-        come back in stream order regardless of ``concurrency``.
+        come back in stream order regardless of ``executor`` or
+        ``concurrency`` (process chunks carry sequence numbers and are
+        merged in submission order).
         """
+        if self.executor == "process":
+            return self._run_process(pairs)
+        return self._run_threaded(pairs)
+
+    def _run_process(self, pairs: Iterable) -> BatchResult:
+        """Fan chunks out to the worker processes; merge in stream order."""
+        pool = self._ensure_pool()
+        engine = self._engine
+        sessions: list = []
+        worker_stats: dict = {}
+        totals = {
+            "chase": [0, 0], "transfix": [0, 0], "suggestions": [0, 0],
+            "invalidations": 0,
+        }
+
+        def consume(future) -> None:
+            result = future.result()
+            chunk_sessions = result["sessions"]
+            for offset, session in enumerate(chunk_sessions):
+                if not session.completed and self.on_incomplete == "raise":
+                    raise IncompleteFix(session, index=len(sessions) + offset)
+            sessions.extend(chunk_sessions)
+            self._worker_versions[result["worker"]] = max(
+                result["store_version"],
+                self._worker_versions.get(result["worker"], 0),
+            )
+            for name in ("chase", "transfix", "suggestions"):
+                totals[name][0] += result[name][0]
+                totals[name][1] += result[name][1]
+            totals["invalidations"] += result["invalidations"]
+            stats = worker_stats.setdefault(result["worker"], {
+                "chunks": 0, "tuples": 0,
+                "chase_hits": 0, "chase_misses": 0,
+                "transfix_hits": 0, "transfix_misses": 0,
+                "suggestion_hits": 0, "suggestion_misses": 0,
+            })
+            stats["chunks"] += 1
+            stats["tuples"] += len(chunk_sessions)
+            stats["chase_hits"] += result["chase"][0]
+            stats["chase_misses"] += result["chase"][1]
+            stats["transfix_hits"] += result["transfix"][0]
+            stats["transfix_misses"] += result["transfix"][1]
+            stats["suggestion_hits"] += result["suggestions"][0]
+            stats["suggestion_misses"] += result["suggestions"][1]
+
+        # Keep a bounded window of chunks in flight: enough to feed every
+        # worker with one chunk of lookahead, without materializing an
+        # unbounded stream in the submission queue.
+        max_inflight = 2 * self.concurrency
+        pending: deque = deque()
+        chunks = 0
+        started = time.perf_counter()
+        for chunk in _chunked(pairs, self.chunk_size):
+            task = self._task_for(chunks, chunk)
+            chunks += 1
+            pending.append(pool.submit(_process_worker_chunk, task))
+            if len(pending) >= max_inflight:
+                consume(pending.popleft())
+        while pending:
+            consume(pending.popleft())
+        elapsed = time.perf_counter() - started
+
+        report = BatchReport(
+            tuples=len(sessions),
+            completed=sum(1 for s in sessions if s.completed),
+            incomplete=sum(1 for s in sessions if not s.completed),
+            rounds=sum(s.round_count for s in sessions),
+            chunks=chunks,
+            elapsed=elapsed,
+            concurrency=self.concurrency,
+            chunk_size=self.chunk_size,
+            executor="process",
+            workers=self.concurrency,
+            worker_stats=worker_stats,
+            regions_precomputed=len(engine.regions),
+            chase_memo=MemoStats(*totals["chase"]),
+            transfix_memo=MemoStats(*totals["transfix"]),
+            suggestion_hits=totals["suggestions"][0],
+            suggestion_misses=totals["suggestions"][1],
+            cache_invalidations=totals["invalidations"],
+            master_version=engine.store.version,
+        )
+        return BatchResult(sessions=sessions, report=report)
+
+    def _run_threaded(self, pairs: Iterable) -> BatchResult:
         engine = self._engine
         chase_before = engine.chase_stats.snapshot()
         transfix_before = engine.transfix_stats.snapshot()
@@ -445,6 +816,8 @@ class BatchRepairEngine:
             elapsed=elapsed,
             concurrency=self.concurrency,
             chunk_size=self.chunk_size,
+            executor="thread",
+            workers=self.concurrency,
             regions_precomputed=len(engine.regions),
             chase_memo=engine.chase_stats.delta(chase_before),
             transfix_memo=engine.transfix_stats.delta(transfix_before),
@@ -480,7 +853,10 @@ class BatchRepairEngine:
         Exactly one feedback source must be provided: *clean_path*, a CSV
         aligned row-for-row with the dirty file whose values play the
         truthful simulated user, or *oracle_factory*, a callable mapping a
-        dirty :class:`Row` to an oracle.
+        dirty :class:`Row` to an oracle (with ``executor="process"`` the
+        produced oracles must be picklable).  Misaligned dirty/clean files
+        raise ``ValueError`` naming both paths and row counts rather than
+        silently truncating to the shorter stream.
         """
         if (clean_path is None) == (oracle_factory is None):
             raise ValueError(
@@ -497,7 +873,14 @@ class BatchRepairEngine:
 
 
 def _aligned_pairs(dirty, clean, dirty_path, clean_path):
-    """Zip the two streams, naming the files when their lengths diverge."""
+    """Zip the two streams strictly — never ``zip``'s silent truncation.
+
+    A clean file shorter than the dirty one would silently leave the tail
+    of the stream unmonitored (and a longer one would silently ignore
+    ground truth), so when either stream ends first the other is drained
+    to count it, and a ``ValueError`` naming both paths and both row
+    counts surfaces through :meth:`BatchRepairEngine.run_csv`.
+    """
     _end = object()
     dirty_rows, clean_rows = iter(dirty), iter(clean)
     index = 0
@@ -507,10 +890,15 @@ def _aligned_pairs(dirty, clean, dirty_path, clean_path):
         if d is _end and c is _end:
             return
         if (d is _end) or (c is _end):
-            shorter = clean_path if c is _end else dirty_path
+            # Drain the longer stream so the error can name both totals.
+            longer = clean_rows if d is _end else dirty_rows
+            surplus = 1 + sum(1 for _ in longer)
+            dirty_count = index if d is _end else index + surplus
+            clean_count = index if c is _end else index + surplus
             raise ValueError(
-                f"{dirty_path} and {clean_path} are not aligned "
-                f"row-for-row: {shorter} ran out after {index} data rows"
+                f"dirty and clean CSVs are not aligned row-for-row: "
+                f"{dirty_path} has {dirty_count} data rows but "
+                f"{clean_path} has {clean_count}"
             )
         yield d, SimulatedUser(c)
         index += 1

@@ -267,6 +267,18 @@ class CertainFix:
             self.cache_invalidations += 1
         return True
 
+    def resync_master(self) -> bool:
+        """Re-check the store version now; True iff caches were dropped.
+
+        :meth:`fix` performs this check before every monitored tuple, so
+        ordinary callers never need it.  It exists for hosts that swap the
+        store's state out from under the engine *between* fixes and want
+        the rebuild accounted to a known point — the batch engine's
+        process-pool workers call it right after syncing their store
+        handle to the parent's version stamp.
+        """
+        return self._sync_master_version()
+
     # -- the main loop (Fig. 3) -----------------------------------------------
 
     def fix(self, t: Row, oracle) -> FixSession:

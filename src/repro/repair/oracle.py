@@ -42,6 +42,50 @@ class SimulatedUser:
         return self.assert_correct(current, suggestion)
 
 
+class CpuBoundOracle:
+    """Wrap any oracle with a deterministic CPU burn per interaction.
+
+    Models production feedback sources that *compute* their answers —
+    entity-resolution models, scoring services colocated with the repair
+    engine — rather than blocking on I/O.  This is the workload class where
+    a thread fan-out stays GIL-flat and only a process pool scales; the
+    batch throughput benchmark uses it to pin that decision rule.
+
+    The burn is a fixed-length sha256 chain (``cost`` iterations), so the
+    cost is deterministic, portable, and uncompressible by the optimizer.
+    Instances are picklable as long as the wrapped oracle is.
+    """
+
+    def __init__(self, inner, cost: int = 2000):
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        self.inner = inner
+        self.cost = cost
+
+    def _burn(self) -> None:
+        import hashlib
+
+        digest = b"certain-fix"
+        for _ in range(self.cost):
+            digest = hashlib.sha256(digest).digest()
+
+    def assert_correct(self, current: Row, suggestion: Iterable) -> dict:
+        self._burn()
+        return self.inner.assert_correct(current, suggestion)
+
+    def revise(self, current: Row, suggestion: Iterable, reason: str) -> dict:
+        self._burn()
+        return self.inner.revise(current, suggestion, reason)
+
+    @property
+    def corrected(self) -> set:
+        return self.inner.corrected
+
+    @property
+    def asserted(self) -> set:
+        return self.inner.asserted
+
+
 class ScriptedUser:
     """Replays a fixed list of per-round responses (for tests)."""
 

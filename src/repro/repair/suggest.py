@@ -100,7 +100,7 @@ def applicable_rules(
             if any(v is UNKNOWN for v in key):
                 continue
             columns = rule.master_attrs_of(key_attrs)
-            matches = master.probe(columns, key)
+            matches = master.probe_ref(columns, key)
             pattern_checks = [
                 (rule.master_attr_of(a), rule.pattern[a])
                 for a in rule.pattern.attrs

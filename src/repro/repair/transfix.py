@@ -66,7 +66,7 @@ def _resolve(rule, row: Row, master: MasterStore, use_index: bool):
     if any(v is UNKNOWN for v in key):
         return None
     if use_index:
-        matches = master.probe(rule.lhs_m, key)
+        matches = master.probe_ref(rule.lhs_m, key)
     else:
         matches = master.scan_probe(rule.lhs_m, key)
     if len(rule.master_guard):

@@ -173,6 +173,8 @@ def test_run_csv_requires_exactly_one_feedback_source(tmp_path, dblp):
 
 
 def test_run_csv_misaligned_clean_file_fails(tmp_path, dblp, dblp_dirty):
+    """A short clean file must not silently truncate the stream (zip
+    semantics); the error names both paths and both row counts."""
     dirty_csv = tmp_path / "dirty.csv"
     clean_csv = tmp_path / "clean.csv"
     relation_to_csv(
@@ -183,8 +185,32 @@ def test_run_csv_misaligned_clean_file_fails(tmp_path, dblp, dblp_dirty):
         clean_csv,
     )
     batch = BatchRepairEngine(dblp.rules, dblp.master, dblp.schema)
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError) as excinfo:
         batch.run_csv(dirty_csv, clean_path=clean_csv)
+    message = str(excinfo.value)
+    total = len(dblp_dirty)
+    assert str(dirty_csv) in message and str(clean_csv) in message
+    assert f"{total} data rows" in message and str(total - 3) in message
+
+
+def test_run_csv_misaligned_dirty_file_fails(tmp_path, dblp, dblp_dirty):
+    """The symmetric case: a short dirty file means ground truth would be
+    silently ignored — also an error, with exact counts."""
+    dirty_csv = tmp_path / "dirty.csv"
+    clean_csv = tmp_path / "clean.csv"
+    relation_to_csv(
+        Relation(dblp.schema, (dt.dirty for dt in list(dblp_dirty)[:-5])),
+        dirty_csv,
+    )
+    relation_to_csv(
+        Relation(dblp.schema, (dt.clean for dt in dblp_dirty)), clean_csv
+    )
+    batch = BatchRepairEngine(dblp.rules, dblp.master, dblp.schema)
+    with pytest.raises(ValueError) as excinfo:
+        batch.run_csv(dirty_csv, clean_path=clean_csv)
+    message = str(excinfo.value)
+    total = len(dblp_dirty)
+    assert f"{total - 5} data rows" in message and str(total) in message
 
 
 # -- incomplete sessions ------------------------------------------------------

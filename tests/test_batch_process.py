@@ -1,0 +1,262 @@
+"""Process-pool batch repair: bit-identical output, start methods, resync.
+
+These tests exercise the ``executor="process"`` fan-out end to end:
+workers rehydrate the engine from a pickled :class:`EngineSpec`, chunks
+are merged in submission order, and mid-batch master mutations reach the
+workers through the version-stamp resync protocol (row snapshots for
+in-memory masters, the shared database file for sqlite).
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.engine.store import SqliteStore
+from repro.engine.tuples import Row
+from repro.repair.batch import BatchRepairEngine, EngineSpec
+from repro.repair.certainfix import CertainFix
+from repro.repair.oracle import CpuBoundOracle, SimulatedUser
+
+
+def _pairs(data):
+    return [(dt.dirty, SimulatedUser(dt.clean)) for dt in data]
+
+
+def _example_clean(example, key="s1", item="CD"):
+    """A clean R-tuple derived from a master tuple (R and Rm differ)."""
+    s = example.masters[key]
+    return Row(example.schema, {
+        "FN": s["FN"], "LN": s["LN"], "AC": s["AC"], "phn": s["Mphn"],
+        "type": 2, "str": s["str"], "city": s["city"], "zip": s["zip"],
+        "item": item,
+    })
+
+
+def _assert_sessions_identical(proc_sessions, ref_sessions):
+    assert len(proc_sessions) == len(ref_sessions)
+    for p, r in zip(proc_sessions, ref_sessions):
+        assert p.final == r.final
+        assert p.validated == r.validated
+        assert p.round_count == r.round_count
+        assert p.completed == r.completed
+        assert [x.asserted for x in p.rounds] == [x.asserted for x in r.rounds]
+
+
+# -- bit-identical output -----------------------------------------------------
+
+
+def test_process_matches_sequential_hosp(hosp, hosp_dirty):
+    sequential = CertainFix(hosp.rules, hosp.master, hosp.schema,
+                            use_bdd=False)
+    ref = sequential.fix_stream(_pairs(hosp_dirty))
+    with BatchRepairEngine(hosp.rules, hosp.master, hosp.schema,
+                           use_bdd=False, executor="process",
+                           concurrency=2, chunk_size=5) as batch:
+        result = batch.run(_pairs(hosp_dirty))
+    _assert_sessions_identical(result.sessions, ref)
+    report = result.report
+    assert report.executor == "process"
+    assert report.workers == 2
+    assert report.tuples == len(hosp_dirty)
+    assert sum(s["tuples"] for s in report.worker_stats.values()) \
+        == len(hosp_dirty)
+    payload = report.to_dict()
+    assert payload["executor"] == "process"
+    for stats in payload["worker_stats"].values():
+        assert 0.0 <= stats["chase_hit_rate"] <= 1.0
+
+
+def test_process_matches_sequential_running_example(example):
+    workload = []
+    for key, item in (("s1", "CD"), ("s2", "BOOK")):
+        s = example.masters[key]
+        clean = Row(example.schema, {
+            "FN": s["FN"], "LN": s["LN"], "AC": s["AC"], "phn": s["Mphn"],
+            "type": 2, "str": s["str"], "city": s["city"], "zip": s["zip"],
+            "item": item,
+        })
+        workload.append((clean.with_values({"FN": "Bobby", "city": "???"}),
+                         clean))
+        workload.append((clean, clean))
+    sequential = CertainFix(example.rules, example.master, example.schema)
+    ref = sequential.fix_stream(
+        (dirty, SimulatedUser(clean)) for dirty, clean in workload
+    )
+    with BatchRepairEngine(example.rules, example.master, example.schema,
+                           use_bdd=False, executor="process",
+                           concurrency=2, chunk_size=1) as batch:
+        result = batch.run(
+            (dirty, SimulatedUser(clean)) for dirty, clean in workload
+        )
+    _assert_sessions_identical(result.sessions, ref)
+    for session, (_, clean) in zip(result.sessions, workload):
+        assert session.final == clean
+
+
+def test_process_with_bdd_fixes_to_ground_truth(hosp, hosp_dirty):
+    """Per-worker BDD caches may reorder suggestions, but every fix is
+    still the certain fix: final rows equal the ground truth."""
+    with BatchRepairEngine(hosp.rules, hosp.master, hosp.schema,
+                           use_bdd=True, executor="process",
+                           concurrency=2, chunk_size=8) as batch:
+        result = batch.run_dirty(hosp_dirty)
+    assert result.report.completed == len(hosp_dirty)
+    for session, dt in zip(result.sessions, hosp_dirty):
+        assert session.final == dt.clean
+
+
+# -- start methods ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("method", ["fork", "spawn"])
+def test_start_methods(example, method):
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {method!r} unavailable on this platform")
+    clean = _example_clean(example)
+    dirty = clean.with_values({"FN": "Bobby", "city": "???"})
+    sequential = CertainFix(example.rules, example.master, example.schema)
+    ref = sequential.fix_stream(
+        [(dirty, SimulatedUser(clean)) for _ in range(4)]
+    )
+    with BatchRepairEngine(example.rules, example.master, example.schema,
+                           use_bdd=False, executor="process", concurrency=2,
+                           chunk_size=2, mp_start_method=method) as batch:
+        result = batch.run([(dirty, SimulatedUser(clean)) for _ in range(4)])
+    _assert_sessions_identical(result.sessions, ref)
+    for session in result.sessions:
+        assert session.final == clean
+
+
+# -- mid-batch master mutation (version stamp re-check) -----------------------
+
+
+def test_memory_master_update_reaches_live_workers(hosp, hosp_dirty):
+    """An update between runs of one live pool ships a row snapshot with
+    the next chunks; workers adopt the parent's version stamp and drop
+    their caches (reported as cache_invalidations)."""
+    from repro.engine.relation import Relation
+
+    data = list(hosp_dirty)
+    master = Relation(hosp.schema, hosp.master.iter_rows())  # private copy
+    with BatchRepairEngine(hosp.rules, master, hosp.schema,
+                           use_bdd=False, executor="process",
+                           concurrency=2, chunk_size=5) as batch:
+        first = batch.run(_pairs(data))
+        assert first.report.cache_invalidations == 0
+        version0 = batch.store.version
+        # Touch the master through the store seam: delete+insert of one row
+        # moves it to iteration end and bumps the version.
+        victim = master.row_at(0)
+        assert batch.store.delete(victim)
+        batch.store.insert(victim)
+        assert batch.store.version > version0
+        second = batch.run(_pairs(data))
+        # Both live workers had stale stamps and must rebuild exactly once.
+        assert second.report.cache_invalidations >= 1
+        assert second.report.master_version == batch.store.version
+    reference = CertainFix(hosp.rules, master, hosp.schema, use_bdd=False)
+    ref = reference.fix_stream(_pairs(data))
+    _assert_sessions_identical(second.sessions, ref)
+
+
+def test_sqlite_master_update_reaches_live_workers(tmp_path, hosp,
+                                                   hosp_dirty):
+    data = list(hosp_dirty)
+    store = SqliteStore.from_relation(hosp.master,
+                                      path=tmp_path / "master.db")
+    with BatchRepairEngine(hosp.rules, store, hosp.schema,
+                           use_bdd=False, executor="process",
+                           concurrency=2, chunk_size=5) as batch:
+        batch.run(_pairs(data))
+        victim = next(iter(store))
+        assert store.update(victim, victim.with_values({}))
+        second = batch.run(_pairs(data))
+        assert second.report.cache_invalidations >= 1
+    reference = CertainFix(hosp.rules, store, hosp.schema, use_bdd=False)
+    ref = reference.fix_stream(_pairs(data))
+    _assert_sessions_identical(second.sessions, ref)
+    store.close()
+
+
+def test_snapshot_shipping_stops_after_all_workers_ack(hosp, hosp_dirty):
+    """After a mutation, in-memory row snapshots ride along with chunk
+    tasks only until every worker has acked the new version stamp; then
+    the parent's _pool_version catches up and tasks go back to slim."""
+    from repro.engine.relation import Relation
+
+    data = list(hosp_dirty)
+    master = Relation(hosp.schema, hosp.master.iter_rows())
+    with BatchRepairEngine(hosp.rules, master, hosp.schema,
+                           use_bdd=False, executor="process",
+                           concurrency=2, chunk_size=3) as batch:
+        batch.run(_pairs(data))
+        victim = master.row_at(0)
+        assert batch.store.delete(victim)
+        batch.store.insert(victim)
+        # Freshly mutated: the next task must carry the snapshot.
+        assert batch._task_for(0, [])[3] is not None
+        batch.run(_pairs(data))  # every worker processes chunks and acks
+        assert batch._task_for(0, [])[3] is None
+        assert batch._pool_version == batch.store.version
+
+
+# -- spec / lifecycle ---------------------------------------------------------
+
+
+def test_engine_spec_roundtrip(hosp):
+    import pickle
+
+    engine = BatchRepairEngine(hosp.rules, hosp.master, hosp.schema,
+                               use_bdd=False)
+    spec = engine._make_spec()
+    assert isinstance(spec, EngineSpec)
+    clone = pickle.loads(pickle.dumps(spec)).build()
+    assert clone.store.version == engine.engine.store.version
+    assert len(clone.regions) == len(engine.engine.regions)
+    assert [r.name for r in clone.rules] \
+        == [r.name for r in engine.engine.rules]
+
+
+def test_memory_sqlite_store_refuses_process_executor(hosp, hosp_dirty):
+    store = SqliteStore.from_relation(hosp.master)  # private :memory: db
+    batch = BatchRepairEngine(hosp.rules, store, hosp.schema,
+                              use_bdd=False, executor="process",
+                              concurrency=2)
+    with pytest.raises(ValueError, match="cannot cross a fork/spawn"):
+        batch.run_dirty(hosp_dirty)
+    store.close()
+
+
+def test_invalid_executor_rejected(hosp):
+    with pytest.raises(ValueError, match="executor"):
+        BatchRepairEngine(hosp.rules, hosp.master, hosp.schema,
+                          executor="greenlet")
+
+
+def test_close_is_idempotent_and_pool_rebuilds(example):
+    clean = _example_clean(example)
+    dirty = clean.with_values({"city": "???"})
+    batch = BatchRepairEngine(example.rules, example.master, example.schema,
+                              use_bdd=False, executor="process",
+                              concurrency=2, chunk_size=1)
+    first = batch.run([(dirty, SimulatedUser(clean))])
+    batch.close()
+    batch.close()  # no-op
+    second = batch.run([(dirty, SimulatedUser(clean))])  # fresh pool
+    batch.close()
+    assert first.final_rows == second.final_rows == [clean]
+
+
+# -- CPU-bound oracle ---------------------------------------------------------
+
+
+def test_cpu_bound_oracle_is_transparent(example):
+    clean = _example_clean(example)
+    dirty = clean.with_values({"FN": "Bobby", "city": "???"})
+    engine = CertainFix(example.rules, example.master, example.schema)
+    plain = engine.fix(dirty, SimulatedUser(clean))
+    burned = engine.fix(dirty, CpuBoundOracle(SimulatedUser(clean), cost=10))
+    assert burned.final == plain.final == clean
+    assert burned.validated == plain.validated
+    with pytest.raises(ValueError, match="cost"):
+        CpuBoundOracle(SimulatedUser(clean), cost=-1)

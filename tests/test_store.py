@@ -79,23 +79,23 @@ def test_store_basic_reads(store, schema, rows):
 
 
 def test_probe_and_aliases(store, rows):
-    assert store.probe(("k",), ("a",)) == [rows[0], rows[2]]
-    assert store.probe(("k", "v"), ("b", "y")) == [rows[1]]
-    assert store.probe(("k",), ("zzz",)) == []
+    assert store.probe(("k",), ("a",)) == (rows[0], rows[2])
+    assert store.probe(("k", "v"), ("b", "y")) == (rows[1],)
+    assert store.probe(("k",), ("zzz",)) == ()
     # duplicate attributes in the probe list (Theorem 12-style reuse)
-    assert store.probe(("k", "k"), ("a", "a")) == [rows[0], rows[2]]
-    assert store.probe(("k", "k"), ("a", "b")) == []
+    assert store.probe(("k", "k"), ("a", "a")) == (rows[0], rows[2])
+    assert store.probe(("k", "k"), ("a", "b")) == ()
     # Relation-compatible spellings and the index-free ablation agree
     assert store.lookup(("k",), ("a",)) == store.probe(("k",), ("a",))
     assert store.scan_probe(("k",), ("a",)) == store.probe(("k",), ("a",))
-    assert store.scan_lookup(("n",), (2,)) == [rows[1]]
+    assert store.scan_lookup(("n",), (2,)) == (rows[1],)
     assert store.contains_key(("k",), ("c",))
     assert not store.contains_key(("k",), ("nope",))
 
 
 def test_probe_is_exact_typed(store):
-    assert store.probe(("n",), (2,)) != []
-    assert store.probe(("n",), ("2",)) == []
+    assert store.probe(("n",), (2,)) != ()
+    assert store.probe(("n",), ("2",)) == ()
 
 
 def test_version_bumps_on_mutation(store, schema):
@@ -106,12 +106,12 @@ def test_version_bumps_on_mutation(store, schema):
     assert v1 > v0
     assert len(store) == 5
     assert list(store)[-1] == extra
-    assert store.probe(("k",), ("d",)) == [extra]
+    assert store.probe(("k",), ("d",)) == (extra,)
 
     assert store.delete(extra)
     assert store.version > v1
     assert len(store) == 4
-    assert store.probe(("k",), ("d",)) == []
+    assert store.probe(("k",), ("d",)) == ()
     # deleting a missing row mutates nothing
     v2 = store.version
     assert not store.delete(extra)
@@ -120,7 +120,7 @@ def test_version_bumps_on_mutation(store, schema):
 
 def test_delete_removes_one_occurrence(store, schema, rows):
     assert store.delete(Row(schema, ("a", "x", 1)))
-    assert store.probe(("k",), ("a",)) == [rows[2]]
+    assert store.probe(("k",), ("a",)) == (rows[2],)
     assert len(store) == 3
 
 
@@ -131,13 +131,13 @@ def test_update_moves_row_to_iteration_end(store, schema, rows):
     assert store.update(old, new)
     assert store.version > v0
     assert list(store) == [rows[0], rows[2], rows[3], new]
-    assert store.probe(("k",), ("b",)) == [new]
+    assert store.probe(("k",), ("b",)) == (new,)
     assert not store.update(old, new)  # old is gone now
 
 
 def test_ensure_index_then_probe(store):
     store.ensure_index(("v", "n"))
-    assert store.probe(("v", "n"), ("x", 3)) == [store.rows[2]]
+    assert store.probe(("v", "n"), ("x", 3)) == (store.rows[2],)
 
 
 # -- InMemoryStore specifics --------------------------------------------------
@@ -149,7 +149,7 @@ def test_inmemory_version_tracks_direct_relation_mutation(schema, rows):
     v0 = store.version
     relation.insert(Row(schema, ("e", "w", 7)))
     assert store.version > v0
-    assert store.probe(("k",), ("e",)) != []
+    assert store.probe(("k",), ("e",)) != ()
 
 
 def test_as_master_store_caches_wrapper(schema, rows):
@@ -204,7 +204,7 @@ def test_sqlite_from_relation_and_disk_path(tmp_path, schema, rows):
     # reopening the file sees the persisted rows (out-of-core master)
     reopened = SqliteStore(schema, path=path)
     assert len(reopened) == 4
-    assert reopened.probe(("k",), ("a",)) == [rows[0], rows[2]]
+    assert reopened.probe(("k",), ("a",)) == (rows[0], rows[2])
     reopened.close()
 
 
@@ -231,12 +231,12 @@ def test_numeric_keys_probe_identically_across_backends(schema):
     sqlite = SqliteStore(schema, rows)
     for key in ((2,), (2.0,)):
         assert memory.probe(("n",), key) == sqlite.probe(("n",), key) \
-            == [rows[0]]
+            == (rows[0],)
     for key in ((1,), (True,), (1.0,)):
         assert memory.probe(("n",), key) == sqlite.probe(("n",), key) \
-            == [rows[1]]
+            == (rows[1],)
     for key in (("2",), (1.5,)):
-        assert memory.probe(("n",), key) == sqlite.probe(("n",), key) == []
+        assert memory.probe(("n",), key) == sqlite.probe(("n",), key) == ()
 
 
 def test_sqlite_probe_cache_hits_and_invalidation(schema, rows):
@@ -264,7 +264,7 @@ def test_sqlite_probe_cache_lru_eviction(schema, rows):
 
 def test_sqlite_unstorable_probe_key_matches_nothing(schema, rows):
     store = SqliteStore(schema, rows)
-    assert store.probe(("k",), (object(),)) == []
+    assert store.probe(("k",), (object(),)) == ()
     assert not store.delete(Row(schema, (object(), "x", 1)))
 
 
@@ -288,3 +288,154 @@ def test_sqlite_iteration_windows_survive_interleaved_mutation(schema):
             store.insert(Row(schema, ("late", "v", 9999)))
         seen += 1
     assert seen == 2501  # the appended row lands after the current window
+
+
+# -- probe aliasing (immutable results) ---------------------------------------
+
+
+def test_probe_results_are_immutable_tuples(store, rows):
+    """Mutating a probe result must be impossible: both backends used to
+    hand out aliases of internal state (the index bucket / the LRU cache
+    line) under a doc-only contract."""
+    result = store.probe(("k",), ("a",))
+    assert isinstance(result, tuple)
+    with pytest.raises((AttributeError, TypeError)):
+        result.append("junk")  # tuples have no append
+    # A caller round-tripping through list() and mangling their copy must
+    # not corrupt later probes (cache-hit path) either.
+    mangled = list(result)
+    mangled.clear()
+    again = store.probe(("k",), ("a",))
+    assert again == (rows[0], rows[2])
+    assert store.scan_probe(("k",), ("a",)) == again
+    assert isinstance(store.lookup(("k",), ("a",)), tuple)
+
+
+def test_probe_ref_is_read_only_hot_path(store, rows):
+    """probe_ref mirrors HashIndex.get/get_ref: it may alias internals and
+    is only ever read by the repair loops, but must agree with probe."""
+    assert tuple(store.probe_ref(("k",), ("a",))) == \
+        store.probe(("k",), ("a",))
+    assert tuple(store.probe_ref(("k",), ("zzz",))) == ()
+
+
+def test_active_values_result_is_caller_owned(store):
+    values = store.active_values("k")
+    values.add("corrupted")
+    assert "corrupted" not in store.active_values("k")
+
+
+# -- probe_many ---------------------------------------------------------------
+
+
+def test_probe_many_matches_probe_loop(store, rows):
+    keys = [("a",), ("b",), ("zzz",), ("a",)]  # duplicate collapses
+    out = store.probe_many(("k",), keys)
+    assert set(out) == {("a",), ("b",), ("zzz",)}
+    for key, matches in out.items():
+        assert matches == store.probe(("k",), key)
+    assert out[("a",)] == (rows[0], rows[2])
+    assert out[("zzz",)] == ()
+
+
+def test_probe_many_multi_column_and_duplicate_attrs(store, rows):
+    out = store.probe_many(("k", "v"), [("a", "x"), ("c", NULL), ("a", "y")])
+    assert out == {
+        ("a", "x"): (rows[0], rows[2]),
+        ("c", NULL): (rows[3],),
+        ("a", "y"): (),
+    }
+    dup = store.probe_many(("k", "k"), [("a", "a"), ("a", "b")])
+    assert dup == {("a", "a"): (rows[0], rows[2]), ("a", "b"): ()}
+
+
+def test_probe_many_rejects_mismatched_key(store):
+    with pytest.raises(ValueError, match="does not match attribute list"):
+        store.probe_many(("k", "v"), [("a",)])
+
+
+def test_sqlite_probe_many_batches_and_fills_cache(schema):
+    many = [Row(schema, (f"k{i}", "v", i)) for i in range(600)]
+    store = SqliteStore(schema, many)
+    assert store.supports_batched_probes
+    keys = [(f"k{i}",) for i in range(650)]
+    out = store.probe_many(("k",), keys)
+    for i in range(600):
+        assert out[(f"k{i}",)] == (many[i],)
+    for i in range(600, 650):
+        assert out[(f"k{i}",)] == ()
+    # the batched plan populated the LRU: a follow-up probe is a pure hit
+    hits0 = store.probe_cache_info()["hits"]
+    assert store.probe(("k",), ("k7",)) == (many[7],)
+    assert store.probe_cache_info()["hits"] == hits0 + 1
+
+
+def test_sqlite_probe_many_unstorable_key_matches_nothing(schema, rows):
+    store = SqliteStore(schema, rows)
+    out = store.probe_many(("k",), [("a",), (object(),)])
+    assert out[("a",)] == (rows[0], rows[2])
+    assert [v for k, v in out.items() if not isinstance(k[0], str)] == [()]
+
+
+# -- detach / reattach (process-boundary protocol) ----------------------------
+
+
+def test_memory_detach_reattach_preserves_rows_and_version(schema, rows):
+    relation = Relation(schema, rows)
+    store = InMemoryStore(relation)
+    store.insert(Row(schema, ("d", "z", 9)))
+    handle = store.detach()
+    clone = handle.reattach()
+    assert list(clone) == list(store)
+    assert clone.version == store.version
+    # reattached copies are by value: parent mutations stay invisible
+    store.insert(Row(schema, ("e", "w", 10)))
+    assert len(clone) == len(store) - 1
+    # reset_rows is the per-chunk resync: contents and stamp jump together
+    clone.reset_rows(tuple(store), store.version)
+    assert list(clone) == list(store)
+    assert clone.version == store.version
+
+
+def test_sqlite_detach_reattach_shares_file(tmp_path, schema, rows):
+    path = tmp_path / "m.db"
+    store = SqliteStore(schema, rows, path=path)
+    assert store.shares_storage_across_processes
+    handle = store.detach()
+    clone = handle.reattach()
+    assert list(clone) == rows
+    assert clone.version == store.version
+    # parent writes reach the clone through the file + sync_version
+    store.insert(Row(schema, ("d", "z", 9)))
+    clone.sync_version(store.version)
+    assert len(clone) == 5
+    assert clone.probe(("k",), ("d",)) == (Row(schema, ("d", "z", 9)),)
+    clone.close()
+    store.close()
+
+
+def test_sqlite_memory_detach_refused(schema, rows):
+    store = SqliteStore(schema, rows)
+    assert not store.shares_storage_across_processes
+    with pytest.raises(ValueError, match="cannot cross a fork/spawn"):
+        store.detach()
+
+
+def test_masterstore_default_detach_refused():
+    # Plain local name: a class body would resolve a fixture argument to
+    # the module-level fixture *function*, not its value.
+    plain_schema = RelationSchema("opaque", ["a"])
+
+    class Opaque(MasterStore):
+        schema = plain_schema
+        version = 0
+        def __len__(self): return 0
+        def __iter__(self): return iter(())
+        def probe(self, attrs, key): return ()
+        def ensure_index(self, attrs): pass
+        def active_values(self, attr): return set()
+        def insert(self, row): pass
+        def delete(self, row): return False
+
+    with pytest.raises(ValueError, match="detach"):
+        Opaque().detach()
