@@ -4,10 +4,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-store example
+.PHONY: test conformance smoke bench bench-store example
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The MasterStore contract suite against every backend (memory, sqlite
+# file + :memory:, remote HTTP).  A subset of `test`, but named so a
+# backend regression is attributable on its own line (CI runs it as a
+# dedicated step).
+conformance:
+	$(PYTHON) -m pytest tests/test_store_conformance.py -q
 
 # Quick perf smoke: seeds/refreshes BENCH_batch.json at reduced scale and
 # fails if the batch engine loses its >=2x margin over naive fix_stream.
@@ -23,9 +30,11 @@ smoke:
 bench:
 	$(PYTHON) benchmarks/bench_batch_throughput.py
 
-# Master-store backends: memory vs sqlite throughput plus the cost of an
-# incremental master update invalidating the shared caches; asserts both
-# backends fix identically and regenerates the committed BENCH_store.json.
+# Master-store backends: memory vs sqlite vs remote (HTTP read-through)
+# throughput, raw probe latency (cold vs warm cache; remote warm must stay
+# within 5x of sqlite) and the cost of an incremental master update
+# invalidating the shared caches; asserts all backends fix identically and
+# regenerates the committed BENCH_store.json.
 bench-store:
 	$(PYTHON) benchmarks/bench_store.py
 

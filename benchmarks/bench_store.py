@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""MasterStore backends: memory vs sqlite throughput, and invalidation cost.
+"""MasterStore backends: memory vs sqlite vs remote, plus invalidation cost.
 
-Seeds ``BENCH_store.json``.  Three questions, per dataset:
+Seeds ``BENCH_store.json``.  Four questions, per dataset:
 
 1. **backend throughput** — the same batch workload through
-   :class:`~repro.engine.store.InMemoryStore` (hash indexes in RAM) and
+   :class:`~repro.engine.store.InMemoryStore` (hash indexes in RAM),
    :class:`~repro.engine.store.SqliteStore` (out-of-core indexed tables
-   behind an LRU probe cache), outputs asserted identical;
+   behind an LRU probe cache) and :class:`~repro.engine.remote.RemoteStore`
+   (HTTP read-through client against an in-process
+   :class:`~repro.engine.remote.MasterServer`), outputs asserted identical;
 2. **warm-cache rerun** — the same workload again on warmed shared caches
    (the steady state of a monitoring service);
 3. **post-update rerun** — one master insert between runs bumps the store
-   version, so the rerun first rebuilds regions/BDD/memos; the gap between
-   (2) and (3) is the price of an incremental master update.
+   version (over HTTP for the remote backend), so the rerun first rebuilds
+   regions/BDD/memos; the gap between (2) and (3) is the price of an
+   incremental master update;
+4. **probe latency** — raw ``probe()`` microbenchmark per backend, cold
+   (first touch per key) vs warm (read-through caches hot).  The remote
+   backend's warm-cache probe throughput must stay within 5× of sqlite's —
+   both are one LRU hit; the floor catches a broken client cache, which
+   would otherwise silently turn every probe into an HTTP round-trip.
 
 Run:  PYTHONPATH=src python benchmarks/bench_store.py [--quick]
 
@@ -27,11 +35,16 @@ import platform
 import time
 from pathlib import Path
 
-from repro.engine.store import SqliteStore, as_master_store
+from repro.engine.relation import Relation
+from repro.engine.remote import MasterServer, RemoteStore
+from repro.engine.store import InMemoryStore, SqliteStore, as_master_store
 from repro.experiments.config import ExperimentConfig, load_workload
 from repro.repair.batch import BatchRepairEngine
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The remote warm-probe floor relative to sqlite (see module docstring).
+REMOTE_WARM_FACTOR = 5.0
 
 
 def _run(engine, data) -> tuple:
@@ -52,70 +65,150 @@ def _fresh_master_row(bundle):
     return donor.with_values({first_attr: "bench-store-fresh-key"})
 
 
-def bench_dataset(dataset: str, scale: dict) -> dict:
+def _make_backends(bundle) -> tuple:
+    """(ordered backend dict, cleanup callable).
+
+    All three are loaded from the same initial master before any backend
+    mutates (the post-update phase inserts per backend).
+    """
+    sqlite = SqliteStore.from_relation(bundle.master)
+    backing = InMemoryStore(
+        Relation(bundle.schema, bundle.master.iter_rows())
+    )
+    server = MasterServer(backing).start()
+    remote = RemoteStore(server.url)
+    backends = {
+        "memory": as_master_store(bundle.master),
+        "sqlite": sqlite,
+        "remote": remote,
+    }
+
+    def cleanup():
+        remote.close()
+        server.close()
+        sqlite.close()
+
+    return backends, cleanup
+
+
+def _bench_probe_latency(store, attr: str, keys: list, repeats: int) -> dict:
+    """Raw probe cost: cold (first touch per key) vs warm (caches hot)."""
+    store.ensure_index((attr,))
+    started = time.perf_counter()
+    for key in keys:
+        store.probe((attr,), key)
+    cold = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for key in keys:
+            store.probe((attr,), key)
+    warm = time.perf_counter() - started
+    return {
+        "keys": len(keys),
+        "cold_tps": _throughput(len(keys), cold),
+        "warm_tps": _throughput(len(keys) * repeats, warm),
+    }
+
+
+def bench_dataset(dataset: str, scale: dict, probe_repeats: int) -> dict:
     config = ExperimentConfig(dataset=dataset, **scale)
     bundle, data = load_workload(config)
     print(f"[{dataset}] |Dm|={len(bundle.master)}  |D|={len(data)}")
 
-    backends = {
-        "memory": as_master_store(bundle.master),
-        "sqlite": SqliteStore.from_relation(bundle.master),
-    }
-    out: dict = {
-        "master_size": len(bundle.master),
-        "input_size": len(data),
-        "backends": {},
-    }
-    finals = {}
-    for name, store in backends.items():
-        setup_started = time.perf_counter()
-        engine = BatchRepairEngine(bundle.rules, store, bundle.schema)
-        setup = time.perf_counter() - setup_started
-
-        cold, cold_s = _run(engine, data)
-        warm, warm_s = _run(engine, data)
-
-        store.insert(_fresh_master_row(bundle))
-        updated, updated_s = _run(engine, data)
-        assert updated.report.cache_invalidations == 1, (
-            f"{name}: master insert did not invalidate the shared caches"
-        )
-
-        finals[name] = [s.final for s in cold.sessions]
-        entry = {
-            "setup_s": round(setup, 4),
-            "cold_run": {
-                "elapsed_s": round(cold_s, 4),
-                "throughput_tps": _throughput(len(data), cold_s),
-            },
-            "warm_cache_run": {
-                "elapsed_s": round(warm_s, 4),
-                "throughput_tps": _throughput(len(data), warm_s),
-            },
-            "post_update_run": {
-                "elapsed_s": round(updated_s, 4),
-                "throughput_tps": _throughput(len(data), updated_s),
-                "cache_invalidations": updated.report.cache_invalidations,
-            },
-            "invalidation_overhead_s": round(max(updated_s - warm_s, 0.0), 4),
-            "master_version_final": store.version,
+    backends, cleanup = _make_backends(bundle)
+    try:
+        out: dict = {
+            "master_size": len(bundle.master),
+            "input_size": len(data),
+            "backends": {},
+            "probe_latency": {},
         }
-        if hasattr(store, "probe_cache_info"):
-            entry["probe_cache"] = store.probe_cache_info()
-        out["backends"][name] = entry
-        print(f"  {name:6s}: cold {entry['cold_run']['throughput_tps']:8.1f} "
-              f"tps  warm {entry['warm_cache_run']['throughput_tps']:8.1f} "
-              f"tps  post-update "
-              f"{entry['post_update_run']['throughput_tps']:8.1f} tps")
+        finals = {}
+        for name, store in backends.items():
+            setup_started = time.perf_counter()
+            engine = BatchRepairEngine(bundle.rules, store, bundle.schema)
+            setup = time.perf_counter() - setup_started
 
-    assert finals["memory"] == finals["sqlite"], (
-        "backend outputs diverged — memory and sqlite must fix identically"
-    )
+            cold, cold_s = _run(engine, data)
+            warm, warm_s = _run(engine, data)
+
+            store.insert(_fresh_master_row(bundle))
+            updated, updated_s = _run(engine, data)
+            assert updated.report.cache_invalidations == 1, (
+                f"{name}: master insert did not invalidate the shared caches"
+            )
+
+            finals[name] = [s.final for s in cold.sessions]
+            entry = {
+                "setup_s": round(setup, 4),
+                "cold_run": {
+                    "elapsed_s": round(cold_s, 4),
+                    "throughput_tps": _throughput(len(data), cold_s),
+                },
+                "warm_cache_run": {
+                    "elapsed_s": round(warm_s, 4),
+                    "throughput_tps": _throughput(len(data), warm_s),
+                },
+                "post_update_run": {
+                    "elapsed_s": round(updated_s, 4),
+                    "throughput_tps": _throughput(len(data), updated_s),
+                    "cache_invalidations": updated.report.cache_invalidations,
+                },
+                "invalidation_overhead_s": round(
+                    max(updated_s - warm_s, 0.0), 4
+                ),
+                "master_version_final": store.version,
+            }
+            if hasattr(store, "probe_cache_info"):
+                entry["probe_cache"] = store.probe_cache_info()
+            if hasattr(store, "connection_info"):
+                entry["connection"] = store.connection_info()
+            out["backends"][name] = entry
+            print(f"  {name:6s}: cold "
+                  f"{entry['cold_run']['throughput_tps']:8.1f} tps  warm "
+                  f"{entry['warm_cache_run']['throughput_tps']:8.1f} tps  "
+                  f"post-update "
+                  f"{entry['post_update_run']['throughput_tps']:8.1f} tps")
+
+        for name in finals:
+            assert finals["memory"] == finals[name], (
+                f"backend outputs diverged — memory and {name} must fix "
+                f"identically"
+            )
+
+        # raw probe microbenchmark (all backends hold identical rows here:
+        # the same initial master plus each its own fresh-key insert)
+        attr = bundle.schema.attributes[0]
+        keys = list(dict.fromkeys(
+            (row[attr],) for row in bundle.master.iter_rows()
+        ))
+        for name, store in backends.items():
+            probe = _bench_probe_latency(store, attr, keys, probe_repeats)
+            out["probe_latency"][name] = probe
+            print(f"  {name:6s} probes: cold {probe['cold_tps']:10.1f} tps  "
+                  f"warm {probe['warm_tps']:10.1f} tps")
+
+        sqlite_warm = out["probe_latency"]["sqlite"]["warm_tps"]
+        remote_warm = out["probe_latency"]["remote"]["warm_tps"]
+        assert remote_warm * REMOTE_WARM_FACTOR >= sqlite_warm, (
+            f"remote warm-cache probes fell below 1/{REMOTE_WARM_FACTOR:.0f} "
+            f"of sqlite ({remote_warm:.0f} vs {sqlite_warm:.0f} tps) — the "
+            f"read-through LRU is not serving hits"
+        )
+        out["remote_warm_within_factor"] = round(
+            sqlite_warm / remote_warm, 3
+        ) if remote_warm else None
+    finally:
+        cleanup()
+
     mem = out["backends"]["memory"]["cold_run"]["throughput_tps"]
     sql = out["backends"]["sqlite"]["cold_run"]["throughput_tps"]
+    rem = out["backends"]["remote"]["cold_run"]["throughput_tps"]
     out["sqlite_relative_throughput"] = round(sql / mem, 3) if mem else 0.0
+    out["remote_relative_throughput"] = round(rem / mem, 3) if mem else 0.0
     print(f"  outputs identical; sqlite at "
-          f"{out['sqlite_relative_throughput']:.0%} of memory throughput")
+          f"{out['sqlite_relative_throughput']:.0%}, remote at "
+          f"{out['remote_relative_throughput']:.0%} of memory throughput")
     return out
 
 
@@ -125,13 +218,17 @@ def run(quick: bool, output: Path) -> dict:
         if quick
         else {"master_size": 1500, "input_size": 200}
     )
+    probe_repeats = 3 if quick else 10
     results = {
-        dataset: bench_dataset(dataset, scale) for dataset in ("hosp", "dblp")
+        dataset: bench_dataset(dataset, scale, probe_repeats)
+        for dataset in ("hosp", "dblp")
     }
     payload = {
         "benchmark": "master_store_backends",
         "mode": "quick" if quick else "full",
         "python": platform.python_version(),
+        "remote_warm_probe_floor": f"within {REMOTE_WARM_FACTOR:.0f}x of "
+                                   f"sqlite",
         "results": results,
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -33,13 +33,18 @@ from repro.engine import (
     Domain,
     INT,
     InMemoryStore,
+    MasterServer,
     MasterStore,
     NULL,
+    RemoteStore,
     Relation,
     RelationSchema,
     Row,
     STRING,
     SqliteStore,
+    StoreDetachedError,
+    StoreError,
+    StoreUnavailableError,
     UNKNOWN,
     as_master_store,
     finite_domain,
@@ -123,9 +128,11 @@ __all__ = [
     "FixSession",
     "INT",
     "InMemoryStore",
+    "MasterServer",
     "IncRep",
     "IncompleteFix",
     "MasterStore",
+    "RemoteStore",
     "NULL",
     "NotConst",
     "PatternTableau",
@@ -137,6 +144,9 @@ __all__ = [
     "STRING",
     "SimulatedUser",
     "SqliteStore",
+    "StoreDetachedError",
+    "StoreError",
+    "StoreUnavailableError",
     "UNKNOWN",
     "Wildcard",
     "aggregate",

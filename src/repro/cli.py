@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands wrap the library for file-based use:
+Five commands wrap the library for file-based use:
 
 * ``analyze``      — load rules (JSON) and master data (CSV), report the
   rule dependency structure, the certain regions, and the user burden;
@@ -9,6 +9,9 @@ Four commands wrap the library for file-based use:
 * ``batch-repair`` — stream a dirty CSV through the batch repair engine
   (shared caches, chunked execution, optional concurrency) and write the
   repaired rows plus a throughput report;
+* ``serve-master`` — expose a master CSV (memory- or sqlite-backed) as an
+  HTTP master server that remote ``batch-repair --master-backend remote``
+  clients consult through a read-through cache;
 * ``demo``         — run the paper's running example end to end.
 """
 
@@ -82,8 +85,29 @@ def _load_master_store(args):
     :class:`~repro.engine.store.InMemoryStore`; ``sqlite`` streams it
     straight into a :class:`~repro.engine.store.SqliteStore` (on disk when
     ``--sqlite-path`` is given, else a private in-memory database), so the
-    master never has to fit in RAM.
+    master never has to fit in RAM; ``remote`` opens a
+    :class:`~repro.engine.remote.RemoteStore` read-through client against
+    a running ``serve-master`` instance (``--master-url``) — no master
+    file is read locally at all.
     """
+    if args.master_backend == "remote":
+        from repro.engine.remote import RemoteStore
+
+        if not args.master_url:
+            raise ValueError(
+                "--master-backend remote needs --master-url "
+                "(e.g. http://127.0.0.1:8787, see `serve-master`)"
+            )
+        if args.master:
+            raise ValueError(
+                "--master and --master-backend remote are mutually "
+                "exclusive: the remote server owns the master data"
+            )
+        return RemoteStore(args.master_url, poll_interval=args.master_poll)
+    if not args.master:
+        raise ValueError(
+            f"--master is required with --master-backend {args.master_backend}"
+        )
     if args.master_backend == "sqlite":
         from repro.engine.csvio import stream_rows_from_csv
         from repro.engine.store import SqliteStore
@@ -98,7 +122,7 @@ def _load_master_store(args):
 
 
 def _cmd_batch_repair(args) -> int:
-    from repro.engine.store import as_master_store
+    from repro.engine.store import StoreError, as_master_store
     from repro.repair.batch import BatchRepairEngine
     from repro.repair.certainfix import IncompleteFix, ValidationFailed
 
@@ -127,6 +151,16 @@ def _cmd_batch_repair(args) -> int:
         print("hint: raise --max-rounds, or use --on-incomplete keep to "
               "get the truncated sessions", file=sys.stderr)
         return 2
+    except StoreError as exc:
+        # Master-store infrastructure failure (unreachable server, closed
+        # connection, vanished database file); the message carries its own
+        # remedy, and a mid-run failure attaches the partial report.
+        print(f"error: {exc}", file=sys.stderr)
+        report = getattr(exc, "report", None)
+        if report is not None and report.tuples:
+            print(f"(failed after {report.tuples} monitored tuples)",
+                  file=sys.stderr)
+        return 2
     except (ValueError, ValidationFailed) as exc:
         # Malformed input files (bad header, ragged row, invalid rules
         # JSON, misaligned clean file), no certain region for (Σ, Dm), or
@@ -144,6 +178,29 @@ def _cmd_batch_repair(args) -> int:
             handle.write("\n")
         print(f"wrote report to {args.report}")
     return 0 if result.report.incomplete == 0 else 2
+
+
+def _cmd_serve_master(args) -> int:
+    from repro.engine.remote import MasterServer
+    from repro.engine.store import as_master_store
+
+    try:
+        store = as_master_store(_load_master_store(args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = MasterServer(store, host=args.host, port=args.port)
+    print(f"serving {store!r}")
+    print(f"  url: {server.url}")
+    print(f"  point clients at it with: batch-repair --master-backend "
+          f"remote --master-url {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
 
 
 def _cmd_demo(args) -> int:
@@ -184,7 +241,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a dirty CSV through the batch repair engine",
     )
     batch.add_argument("--rules", required=True, help="rules JSON file")
-    batch.add_argument("--master", required=True, help="master data CSV")
+    batch.add_argument(
+        "--master",
+        help="master data CSV (required for the memory and sqlite "
+             "backends; not used with --master-backend remote)",
+    )
     batch.add_argument("--input", required=True, help="dirty input CSV")
     batch.add_argument(
         "--clean", required=True,
@@ -195,14 +256,29 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--output", help="repaired rows CSV to write")
     batch.add_argument("--report", help="JSON throughput report to write")
     batch.add_argument(
-        "--master-backend", choices=("memory", "sqlite"), default="memory",
-        help="master-data backend: 'memory' (Relation + hash indexes) or "
-             "'sqlite' (out-of-core indexed tables with an LRU probe cache)",
+        "--master-backend", choices=("memory", "sqlite", "remote"),
+        default="memory",
+        help="master-data backend: 'memory' (Relation + hash indexes), "
+             "'sqlite' (out-of-core indexed tables with an LRU probe "
+             "cache), or 'remote' (read-through HTTP client against a "
+             "`serve-master` instance; see --master-url)",
     )
     batch.add_argument(
         "--sqlite-path",
         help="with --master-backend sqlite: database file to use "
              "(default: private in-memory database)",
+    )
+    batch.add_argument(
+        "--master-url",
+        help="with --master-backend remote: base URL of the master server "
+             "(e.g. http://127.0.0.1:8787)",
+    )
+    batch.add_argument(
+        "--master-poll", type=float, default=None, metavar="SECONDS",
+        help="with --master-backend remote: re-poll the server version on "
+             "reads at most every SECONDS (0 = every read; default: only "
+             "observe versions piggybacked on this client's own requests — "
+             "enough when mutations flow through this process)",
     )
     batch.add_argument("--chunk-size", type=int, default=256)
     batch.add_argument(
@@ -234,6 +310,27 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-memoize", action="store_true",
                        help="disable validated-pattern memoization")
     batch.set_defaults(func=_cmd_batch_repair)
+
+    serve = sub.add_parser(
+        "serve-master",
+        help="expose a master CSV as an HTTP master server",
+    )
+    serve.add_argument("--master", required=True, help="master data CSV")
+    serve.add_argument(
+        "--master-backend", choices=("memory", "sqlite"), default="memory",
+        help="backing store for the served master (remote clients see the "
+             "same API either way)",
+    )
+    serve.add_argument(
+        "--sqlite-path",
+        help="with --master-backend sqlite: database file to use "
+             "(default: private in-memory database)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (0 = ephemeral, printed at startup)")
+    serve.set_defaults(func=_cmd_serve_master)
 
     demo = sub.add_parser("demo", help="run the paper's running example")
     demo.set_defaults(func=_cmd_demo)

@@ -28,12 +28,16 @@ from repro.engine.multi import (
 )
 from repro.engine.query import equi_join, natural_join, project, rename, select
 from repro.engine.relation import Relation
+from repro.engine.remote import MasterServer, RemoteStore, RemoteStoreHandle
 from repro.engine.store import (
     InMemoryStore,
     MemoryStoreHandle,
     MasterStore,
     SqliteStore,
     SqliteStoreHandle,
+    StoreDetachedError,
+    StoreError,
+    StoreUnavailableError,
     as_master_store,
 )
 from repro.engine.schema import (
@@ -54,8 +58,11 @@ __all__ = [
     "HashIndex",
     "INT",
     "InMemoryStore",
+    "MasterServer",
     "MemoryStoreHandle",
     "MasterStore",
+    "RemoteStore",
+    "RemoteStoreHandle",
     "NULL",
     "Relation",
     "RelationSchema",
@@ -64,6 +71,9 @@ __all__ = [
     "STRING",
     "SqliteStore",
     "SqliteStoreHandle",
+    "StoreDetachedError",
+    "StoreError",
+    "StoreUnavailableError",
     "UNKNOWN",
     "as_master_store",
     "combine_masters",

@@ -1,0 +1,892 @@
+"""Remote master data: an HTTP/JSON master server and a read-through client.
+
+The paper's certain-fix guarantee assumes cheap hash probes into the master
+relation ``Dm`` (Sect. 5.1), but production masters rarely live in the
+repairing process: reference data is a shared service consulted by many
+cleaning sessions at once (Guided Data Repair and Parker both model trusted
+sources this way — see PAPERS.md).  This module makes that deployment real
+over the :class:`~repro.engine.store.MasterStore` seam, pure stdlib:
+
+* :class:`MasterServer` exposes *any* existing store (memory or sqlite)
+  over HTTP/JSON — ``/probe``, ``/probe_many``, ``/active_values``,
+  ``/rows``, ``/version`` plus versioned ``/insert`` / ``/delete`` /
+  ``/update`` — via ``python -m repro serve-master``;
+* :class:`RemoteStore` implements the full ``MasterStore`` ABC as a
+  read-through client: an LRU probe cache stamped with the server's
+  version, batched ``probe_many`` to amortize round-trips, and
+  ``detach()`` / ``reattach()`` so process-pool workers each open their
+  own connection.
+
+**Invalidation** piggybacks on every request: each server response carries
+an ``X-Master-Version`` header, and the client drops its probe/active/len
+caches the moment it observes a newer stamp — a server-side mutation
+therefore invalidates client caches exactly like a local mutation does
+(the repair engines' version-stamp compare then rebuilds regions, BDD and
+memo tables, as for every other backend).  A client that only ever hits
+its own warm cache would never observe anything, so ``poll_interval``
+optionally re-polls ``/version`` on :attr:`RemoteStore.version` reads
+(``0.0`` = every read; ``None`` = piggyback only, the default — right when
+all mutations flow through this client or between-run staleness is
+acceptable).
+
+**Wire format**: values cross the wire in the sqlite backend's tagged
+codec (`repro.engine.store._encode`), which reproduces Python's equality
+semantics exactly — ``87`` never collides with ``"87"``, ``2 == 2.0 ==
+True`` collapse, and the ``NULL`` / ``UNKNOWN`` sentinels survive — so
+fixes computed against a remote master stay bit-identical to the
+in-process backends.
+
+**Failure model**: an unreachable server raises
+:class:`~repro.engine.store.StoreUnavailableError` with remedy text; a
+closed client raises :class:`~repro.engine.store.StoreDetachedError`.
+Reads are retried once over a fresh connection (a keep-alive the server
+timed out is indistinguishable from a dead server until the second try);
+mutations are retried only when the request provably never reached the
+server (connect/send failures), never after a half-delivered exchange —
+an ``/insert`` replay could double-insert.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http import client as http_client
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterable, Iterator
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine.schema import Domain, RelationSchema
+from repro.engine.store import (
+    MasterStore,
+    StoreDetachedError,
+    StoreUnavailableError,
+    _decode,
+    _encode,
+    _ProbeLRU,
+)
+from repro.engine.tuples import Row
+
+#: Every response carries the store version here, so any exchange doubles
+#: as a version poll (the read-through invalidation signal).
+VERSION_HEADER = "X-Master-Version"
+
+
+# -- wire codec ----------------------------------------------------------------
+
+
+def _encode_values(values: Iterable) -> list:
+    return [_encode(v) for v in values]
+
+
+def _decode_row(schema: RelationSchema, cells: list) -> Row:
+    return Row(schema, [_decode(c) for c in cells])
+
+
+def schema_to_payload(schema: RelationSchema) -> dict:
+    """JSON-serializable form of a relation schema (``GET /schema``)."""
+    return {
+        "name": schema.name,
+        "attributes": [
+            {
+                "name": attr.name,
+                "domain": {
+                    "name": attr.domain.name,
+                    "finite": attr.domain.finite,
+                    "values": (
+                        sorted(_encode(v) for v in attr.domain.values)
+                        if attr.domain.finite else None
+                    ),
+                },
+            }
+            for attr in schema.attribute_objects
+        ],
+    }
+
+
+def schema_from_payload(payload: dict) -> RelationSchema:
+    """Rebuild a schema equal (``==``) to the server's from its payload."""
+    attributes = []
+    for attr in payload["attributes"]:
+        dom = attr["domain"]
+        domain = Domain(
+            dom["name"],
+            finite=dom["finite"],
+            values=(
+                frozenset(_decode(v) for v in dom["values"])
+                if dom["finite"] else None
+            ),
+        )
+        attributes.append((attr["name"], domain))
+    return RelationSchema(payload["name"], attributes)
+
+
+# -- server --------------------------------------------------------------------
+
+
+class _MasterHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, store: MasterStore):
+        super().__init__(address, handler)
+        self.store = store
+        # One lock around every store access: the wrapped backends are not
+        # all thread-safe (InMemoryStore's Relation is not), and the
+        # threading server handles each client connection on its own
+        # thread.  Mutations and probes serialize here; the client-side
+        # LRU is what makes the hot path cheap, not server parallelism.
+        self.store_lock = threading.RLock()
+        # Live keep-alive sockets, so close() can sever them: shutting the
+        # listener alone would leave handler threads serving established
+        # connections forever (clients would never observe the shutdown).
+        self._client_sockets: set = set()
+        self._client_lock = threading.Lock()
+
+    def process_request(self, request, client_address):
+        with self._client_lock:
+            self._client_sockets.add(request)
+        super().process_request(request, client_address)
+
+    def handle_error(self, request, client_address):
+        # Routine disconnects — a client killed mid-request, or our own
+        # close() severing keep-alives — are not server errors; the
+        # default would dump a full traceback to stderr for each.
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
+
+    def shutdown_request(self, request):
+        with self._client_lock:
+            self._client_sockets.discard(request)
+        super().shutdown_request(request)
+
+    def close_client_connections(self) -> None:
+        with self._client_lock:
+            sockets = list(self._client_sockets)
+        for sock in sockets:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+
+class _MasterRequestHandler(BaseHTTPRequestHandler):
+    """One route per MasterStore method; JSON bodies, codec-tagged values."""
+
+    #: Keep-alive matters: the client holds one persistent connection and
+    #: pays a TCP handshake only on reconnect, not per probe.
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-master"
+    #: Responses go out as two segments (headers, then body); with Nagle
+    #: on, the second waits ~40ms for the client's delayed ACK — which
+    #: turns every cold probe into a 40ms round-trip.
+    disable_nagle_algorithm = True
+    #: Per-socket timeout: a client that stalls mid-request (or an idle
+    #: keep-alive) is disconnected instead of pinning a handler thread
+    #: forever.  Clients reconnect transparently; they also preemptively
+    #: re-open connections idle longer than half of this (see
+    #: ``RemoteStore._IDLE_RECONNECT_S``) so a mutation never rides a
+    #: connection the server is about to reap.
+    timeout = 60
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # stay quiet; the CLI prints its own serving banner
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _reply(self, payload: dict, status: int = 200,
+               version: int = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if version is None:
+            version = self.server.store.version
+        self.send_header(VERSION_HEADER, str(version))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fail(self, status: int, message: str) -> None:
+        self._reply({"error": message}, status=status)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if not length:
+            return {}
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    def _dispatch(self, routes: dict) -> None:
+        parts = urlsplit(self.path)
+        handler = routes.get(parts.path)
+        if handler is None:
+            self._fail(404, f"unknown endpoint {parts.path!r}")
+            return
+        try:
+            # Socket I/O stays OUTSIDE the store lock: a client stalling
+            # mid-body (or a slow reply drain) must not wedge every other
+            # client's probes behind the globally-held lock.  The store
+            # work and the version stamp happen atomically inside it —
+            # the piggybacked version always matches the result's read
+            # point, so clients never cache a stale line under a newer
+            # stamp.
+            payload = self._read_json() if self.command == "POST" else {}
+            with self.server.store_lock:
+                result = handler(parse_qs(parts.query), payload)
+                version = self.server.store.version
+        except (ValueError, TypeError, KeyError) as exc:
+            # Bad request shape / probe key mismatch: the client re-raises
+            # these as ValueError with the server's message.
+            self._fail(400, str(exc))
+            return
+        self._reply(result, version=version)
+
+    # -- GET routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        self._dispatch({
+            "/version": self._get_version,
+            "/schema": self._get_schema,
+            "/len": self._get_len,
+            "/rows": self._get_rows,
+        })
+
+    def _get_version(self, query, payload) -> dict:
+        return {"version": self.server.store.version}
+
+    def _get_schema(self, query, payload) -> dict:
+        return {"schema": schema_to_payload(self.server.store.schema)}
+
+    def _get_len(self, query, payload) -> dict:
+        return {"len": len(self.server.store)}
+
+    def _get_rows(self, query, payload) -> dict:
+        start = int(query.get("start", ["0"])[0])
+        limit = int(query.get("limit", ["512"])[0])
+        # iter_from keeps paged iteration O(n) overall: backends seek to
+        # *start* natively (sqlite: one OFFSET query) instead of this
+        # handler re-iterating and discarding `start` rows per window.
+        window = itertools.islice(self.server.store.iter_from(start), limit)
+        return {
+            "rows": [_encode_values(row.values) for row in window],
+            "start": start,
+        }
+
+    # -- POST routes ---------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        self._dispatch({
+            "/probe": self._post_probe,
+            "/probe_many": self._post_probe_many,
+            "/active_values": self._post_active_values,
+            "/ensure_index": self._post_ensure_index,
+            "/insert": self._post_insert,
+            "/delete": self._post_delete,
+            "/update": self._post_update,
+        })
+
+    def _decode_key(self, cells: list) -> tuple:
+        return tuple(_decode(c) for c in cells)
+
+    def _row_from(self, cells: list) -> Row:
+        return _decode_row(self.server.store.schema, cells)
+
+    def _post_probe(self, query, payload) -> dict:
+        rows = self.server.store.probe(
+            tuple(payload["attrs"]), self._decode_key(payload["key"])
+        )
+        return {"rows": [_encode_values(r.values) for r in rows]}
+
+    def _post_probe_many(self, query, payload) -> dict:
+        attrs = tuple(payload["attrs"])
+        keys = [self._decode_key(k) for k in payload["keys"]]
+        out = self.server.store.probe_many(attrs, keys)
+        # Aligned with request order; duplicates collapse server-side too.
+        return {
+            "results": [
+                [_encode_values(r.values) for r in out[key]] for key in keys
+            ],
+        }
+
+    def _post_active_values(self, query, payload) -> dict:
+        values = self.server.store.active_values(payload["attr"])
+        return {"values": sorted(_encode(v) for v in values)}
+
+    def _post_ensure_index(self, query, payload) -> dict:
+        self.server.store.ensure_index(tuple(payload["attrs"]))
+        return {}
+
+    def _post_insert(self, query, payload) -> dict:
+        self.server.store.insert(self._row_from(payload["row"]))
+        return {}
+
+    def _post_delete(self, query, payload) -> dict:
+        deleted = self.server.store.delete(self._row_from(payload["row"]))
+        return {"deleted": deleted}
+
+    def _post_update(self, query, payload) -> dict:
+        # One round-trip, atomic under the server's store lock (the
+        # default client-side delete-then-insert would let another client
+        # observe the gap between the two).
+        updated = self.server.store.update(
+            self._row_from(payload["old"]), self._row_from(payload["new"])
+        )
+        return {"updated": updated}
+
+
+class MasterServer:
+    """Serve a :class:`MasterStore` over HTTP (``serve-master`` CLI).
+
+    Wraps the stdlib threading HTTP server with a background-thread
+    lifecycle for tests and embedded use::
+
+        with MasterServer(store) as server:      # port=0 → ephemeral
+            remote = RemoteStore(server.url)
+
+    or ``serve_forever()`` in the foreground for the CLI.
+    """
+
+    def __init__(self, store: MasterStore, host: str = "127.0.0.1",
+                 port: int = 0):
+        self._http = _MasterHTTPServer((host, port), _MasterRequestHandler,
+                                       store)
+        self._thread = None
+
+    @property
+    def store(self) -> MasterStore:
+        return self._http.store
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` — the real port even for ``port=0``."""
+        return self._http.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MasterServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._http.serve_forever, name="repro-master-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI foreground path)."""
+        self._http.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and sever live keep-alive connections.
+
+        Clients observe the shutdown immediately (their next request
+        raises ``StoreUnavailableError``) instead of riding an
+        established connection into a half-dead server.
+        """
+        self._http.shutdown()
+        self._http.close_client_connections()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MasterServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"MasterServer({self.store!r} at {self.url})"
+
+
+# -- client --------------------------------------------------------------------
+
+
+#: Transport failures the client maps to StoreUnavailableError; whether a
+#: retry is safe depends on when they struck (see ``_request``).
+_TRANSPORT_ERRORS = (http_client.HTTPException, OSError)
+
+
+class RemoteStore(MasterStore):
+    """Read-through :class:`MasterStore` client for a :class:`MasterServer`.
+
+    Probes are served from a bounded LRU keyed on ``(attrs, key)`` and
+    stamped with the server version; every response's ``X-Master-Version``
+    header is compared against the stamp and a newer value drops the
+    probe / active-value / length caches before anything is returned — a
+    server-side mutation invalidates this client exactly like a local
+    mutation invalidates the in-process backends.  ``probe_many`` ships
+    cache misses in one request.  The single keep-alive connection is
+    serialized behind a lock (the batch engine's thread fan-out probes
+    concurrently); workers of a process pool each reattach their own
+    connection from a :class:`RemoteStoreHandle`.
+
+    Parameters
+    ----------
+    url:
+        The server's base URL (``http://host:port``).
+    schema:
+        The master schema; fetched from ``GET /schema`` when omitted.
+    probe_cache_size:
+        LRU bound (0 disables client-side probe caching).
+    timeout:
+        Socket timeout per request, seconds.
+    poll_interval:
+        ``None`` (default): observe the server version only through
+        response headers.  A float: additionally re-poll ``GET /version``
+        on :attr:`version` reads at most every that-many seconds (``0.0``
+        = every read) — needed when *other* clients mutate the master and
+        this one must notice between its own requests.
+    """
+
+    supports_batched_probes = True
+    #: Workers talk to the same server, so parent mutations reach them
+    #: without row snapshots (the sqlite-file model, over HTTP).
+    shares_storage_across_processes = True
+
+    _ITER_BATCH = 512
+    #: Preemptively re-open a connection idle longer than this before the
+    #: next request: the server reaps sockets idle past its handler
+    #: timeout (60s), and a mutation riding a half-dead keep-alive would
+    #: fail non-retriably.  Kept below half the server's reap window.
+    _IDLE_RECONNECT_S = 25.0
+
+    def __init__(
+        self,
+        url: str,
+        schema: RelationSchema = None,
+        probe_cache_size: int = 4096,
+        timeout: float = 10.0,
+        poll_interval: float = None,
+    ):
+        self._probe_cache = _ProbeLRU(probe_cache_size)
+        parts = urlsplit(url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(
+                f"RemoteStore needs an http://host:port URL, got {url!r}"
+            )
+        self._url = url.rstrip("/")
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._timeout = timeout
+        self._poll_interval = poll_interval
+        self._closed = False
+        self._conn = None
+        self._last_request = 0.0
+        self._conn_lock = threading.RLock()
+        self._cache_lock = threading.RLock()
+        self._version = -1  # before the first observation
+        self._last_poll = 0.0
+        self._active_cache: dict = {}
+        self._len_cache = None
+        self._requests = 0
+        self._reconnects = 0
+        self._invalidations = 0
+        if schema is None:
+            payload, _ = self._request("GET", "/schema")
+            schema = schema_from_payload(payload["schema"])
+        else:
+            # Validate reachability eagerly (and observe the version) so a
+            # bad --master-url fails at construction with a remedy, not on
+            # the first mid-batch probe.
+            self._request("GET", "/version")
+        self._schema = schema
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self) -> http_client.HTTPConnection:
+        conn = http_client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        conn.connect()
+        # Requests are written as separate header/body segments; without
+        # TCP_NODELAY the body segment can sit behind the server's delayed
+        # ACK (~40ms), dwarfing the actual probe cost.
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+            self._reconnects += 1
+
+    def _unavailable(self, exc: Exception) -> StoreUnavailableError:
+        return StoreUnavailableError(
+            f"master server at {self._url} is unreachable ({exc}); start "
+            f"one with `python -m repro serve-master --master ... --port "
+            f"...` or fix --master-url"
+        )
+
+    def _request(self, method: str, path: str, payload: dict = None,
+                 idempotent: bool = True) -> tuple:
+        """One JSON exchange; returns ``(body_dict, observed_version)``.
+
+        Retries once over a fresh connection when the failure happened
+        before the request could have been processed — always for
+        idempotent reads, only on connect/send errors for mutations.
+        """
+        if self._closed:
+            raise StoreDetachedError(
+                f"this RemoteStore ({self._url}) has been closed; build a "
+                f"new RemoteStore(url) or reattach() a detached handle"
+            )
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        with self._conn_lock:
+            if (
+                self._conn is not None
+                and time.monotonic() - self._last_request
+                >= self._IDLE_RECONNECT_S
+            ):
+                self._drop_connection()
+            for attempt in (0, 1):
+                sent = False
+                try:
+                    if self._conn is None:
+                        self._conn = self._connect()
+                    self._conn.request(method, path, body=body,
+                                       headers=headers)
+                    sent = True
+                    response = self._conn.getresponse()
+                    data = response.read()
+                    break
+                except _TRANSPORT_ERRORS as exc:
+                    self._drop_connection()
+                    # A failure during connect/send means the server never
+                    # saw a complete request — safe to replay even for
+                    # mutations.  After the request went out, only
+                    # idempotent exchanges may retry (an /insert replay
+                    # could double-insert).
+                    retriable = (not sent) or idempotent
+                    if attempt or not retriable:
+                        raise self._unavailable(exc) from exc
+            self._requests += 1
+            self._last_request = time.monotonic()
+        version = response.getheader(VERSION_HEADER)
+        observed = int(version) if version is not None else self._version
+        self._observe_version(observed)
+        if response.status == 400:
+            raise ValueError(json.loads(data.decode("utf-8"))["error"])
+        if response.status != 200:
+            raise self._unavailable(
+                Exception(f"HTTP {response.status} on {path}")
+            )
+        return json.loads(data.decode("utf-8")), observed
+
+    def _observe_version(self, version: int) -> None:
+        """Adopt a piggybacked server version; newer drops every cache."""
+        with self._cache_lock:
+            self._last_poll = time.monotonic()
+            if version > self._version:
+                if self._version >= 0:
+                    self._invalidations += 1
+                self._version = version
+                self._probe_cache.clear()
+                self._active_cache.clear()
+                self._len_cache = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return self._url
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def version(self) -> int:
+        if self._poll_interval is not None and not self._closed:
+            if time.monotonic() - self._last_poll >= self._poll_interval:
+                self.poll_version()
+        return self._version
+
+    def poll_version(self) -> int:
+        """Force one ``GET /version`` round-trip; returns the fresh stamp."""
+        self._request("GET", "/version")
+        return self._version
+
+    def sync_version(self, version: int) -> None:
+        """Adopt the parent's *version* stamp (process-pool resync hook).
+
+        Data already lives server-side, so — exactly like the sqlite
+        file-backed path — the worker only drops its connection-local
+        caches; a no-op when the stamp already matches.
+        """
+        self._observe_version(version)
+
+    def __len__(self) -> int:
+        with self._cache_lock:
+            if self._len_cache is not None:
+                return self._len_cache
+        payload, observed = self._request("GET", "/len")
+        count = payload["len"]
+        with self._cache_lock:
+            if self._version == observed:
+                self._len_cache = count
+        return count
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.iter_from(0)
+
+    def iter_from(self, start: int) -> Iterator[Row]:
+        # Windowed like SqliteStore.__iter__; offsets (not rids) are the
+        # cursor, so rows inserted/deleted behind the current offset can
+        # shift the window — iterate-under-mutation sees a best-effort
+        # snapshot, as documented for every out-of-core backend.
+        start = max(start, 0)
+        while True:
+            payload, _ = self._request(
+                "GET", f"/rows?start={start}&limit={self._ITER_BATCH}"
+            )
+            rows = payload["rows"]
+            if not rows:
+                return
+            for cells in rows:
+                yield _decode_row(self._schema, cells)
+            start += len(rows)
+
+    # -- probes --------------------------------------------------------------
+
+    def ensure_index(self, attrs: Iterable) -> None:
+        self._request("POST", "/ensure_index",
+                      {"attrs": list(tuple(attrs))})
+
+    def _check_key(self, attrs: tuple, key) -> tuple:
+        key = tuple(key)
+        if len(attrs) != len(key):
+            raise ValueError(
+                f"probe key {key} does not match attribute list {attrs}"
+            )
+        return key
+
+    def probe(self, attrs: Iterable, key) -> tuple:
+        attrs = tuple(attrs)
+        key = self._check_key(attrs, key)
+        cache_key = (attrs, key)
+        with self._cache_lock:
+            cached = self._probe_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        try:
+            encoded = _encode_values(key)
+        except TypeError:
+            return ()  # unstorable value (e.g. FreshValue) matches nothing
+        payload, observed = self._request(
+            "POST", "/probe", {"attrs": list(attrs), "key": encoded}
+        )
+        result = tuple(
+            _decode_row(self._schema, cells) for cells in payload["rows"]
+        )
+        self._cache_probe(cache_key, result, observed)
+        return result
+
+    def _cache_probe(self, cache_key: tuple, result: tuple,
+                     observed: int) -> None:
+        """Insert one LRU line, but only under the stamp it was read at —
+        a concurrent observation of a newer version means *result* may be
+        stale and must not outlive the invalidation that just happened."""
+        with self._cache_lock:
+            if self._version == observed:
+                self._probe_cache.put(cache_key, result)
+
+    def probe_many(self, attrs: Iterable, keys: Iterable) -> dict:
+        """Batched probe: cache misses travel in one ``/probe_many`` body.
+
+        Semantically a :meth:`probe` loop (results land in the LRU too —
+        the batch engine's chunk warm-up is exactly this); the round-trip
+        count drops from one per key to one per call.
+        """
+        attrs = tuple(attrs)
+        out: dict = {}
+        pending: list = []  # (key, encoded) cache misses
+        with self._cache_lock:
+            for key in keys:
+                key = self._check_key(attrs, key)
+                if key in out:
+                    continue
+                cached = self._probe_cache.get((attrs, key))
+                if cached is not None:
+                    out[key] = cached
+                    continue
+                out[key] = ()  # filled below when rows come back
+                try:
+                    pending.append((key, _encode_values(key)))
+                except TypeError:
+                    pass  # unstorable key matches nothing; stays ()
+        if not pending:
+            return out
+        payload, observed = self._request(
+            "POST", "/probe_many",
+            {"attrs": list(attrs), "keys": [enc for _, enc in pending]},
+        )
+        for (key, _), cells_list in zip(pending, payload["results"]):
+            rows = tuple(
+                _decode_row(self._schema, cells) for cells in cells_list
+            )
+            out[key] = rows
+            self._cache_probe((attrs, key), rows, observed)
+        return out
+
+    def active_values(self, attr: str) -> set:
+        self._schema.index_of(attr)  # KeyError for foreign attrs, as local
+        with self._cache_lock:
+            cached = self._active_cache.get(attr)
+            if cached is not None:
+                return set(cached)
+        payload, observed = self._request(
+            "POST", "/active_values", {"attr": attr}
+        )
+        values = {_decode(v) for v in payload["values"]}
+        with self._cache_lock:
+            if self._version == observed:
+                self._active_cache[attr] = values
+        return set(values)
+
+    def probe_cache_info(self) -> dict:
+        """LRU accounting for the benchmark layer (sqlite-compatible)."""
+        with self._cache_lock:
+            return self._probe_cache.info()
+
+    def connection_info(self) -> dict:
+        """Transport accounting: requests, reconnects, observed version."""
+        with self._cache_lock:
+            return {
+                "url": self._url,
+                "requests": self._requests,
+                "reconnects": self._reconnects,
+                "invalidations_observed": self._invalidations,
+                "version": self._version,
+            }
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, row) -> None:
+        row = self._coerce(row)
+        self._request("POST", "/insert",
+                      {"row": _encode_values(row.values)}, idempotent=False)
+
+    def delete(self, row) -> bool:
+        row = self._coerce(row)
+        try:
+            encoded = _encode_values(row.values)
+        except TypeError:
+            return False  # unstorable values match nothing
+        payload, _ = self._request("POST", "/delete", {"row": encoded},
+                                   idempotent=False)
+        return payload["deleted"]
+
+    def update(self, old, new) -> bool:
+        """Server-side delete-then-insert: one round-trip, atomic under
+        the server's store lock (no other client can observe the gap)."""
+        old, new = self._coerce(old), self._coerce(new)
+        try:
+            encoded_old = _encode_values(old.values)
+        except TypeError:
+            return False
+        payload, _ = self._request(
+            "POST", "/update",
+            {"old": encoded_old, "new": _encode_values(new.values)},
+            idempotent=False,
+        )
+        return payload["updated"]
+
+    def _coerce(self, row) -> Row:
+        if not isinstance(row, Row):
+            return Row(self._schema, row)
+        if row.schema.attributes != self._schema.attributes:
+            raise ValueError(
+                f"row schema {row.schema.name!r} does not match store "
+                f"schema {self._schema.name!r}"
+            )
+        return row
+
+    # -- process-boundary protocol -------------------------------------------
+
+    def detach(self) -> "RemoteStoreHandle":
+        """A picklable handle reconnecting to the same server elsewhere.
+
+        Carries the URL (the server is the shared storage), the schema by
+        value (workers skip the ``/schema`` fetch) and this client's
+        version stamp.
+        """
+        if self._closed:
+            raise StoreDetachedError(
+                f"this RemoteStore ({self._url}) has been closed; build a "
+                f"new RemoteStore(url) or reattach() a detached handle"
+            )
+        return RemoteStoreHandle(
+            url=self._url,
+            schema=self._schema,
+            probe_cache_size=self._probe_cache.maxsize,
+            timeout=self._timeout,
+            poll_interval=self._poll_interval,
+            version=self._version,
+        )
+
+    def close(self) -> None:
+        """Drop the connection; later operations raise
+        :class:`StoreDetachedError` with a remedy."""
+        with self._conn_lock:
+            self._closed = True
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except OSError:
+                    pass
+                self._conn = None
+
+    def __repr__(self) -> str:
+        if self._closed:
+            return f"RemoteStore({self._url}, closed)"
+        return (
+            f"RemoteStore({self._url}, schema={self._schema.name!r}, "
+            f"version={self._version})"
+        )
+
+
+@dataclass(frozen=True)
+class RemoteStoreHandle:
+    """Connection-free reference to a :class:`RemoteStore` (process hops)."""
+
+    url: str
+    schema: RelationSchema
+    probe_cache_size: int
+    timeout: float
+    poll_interval: float
+    version: int
+
+    def reattach(self) -> RemoteStore:
+        """Open a fresh connection in this process.
+
+        Raises :class:`StoreUnavailableError` (with the serve-master
+        remedy) when the server has gone away.  The reattached client
+        starts at the *newest* of the handle's stamp and the server's
+        current version — the server is the single source of truth, so a
+        mutation that happened after detach is adopted immediately rather
+        than discovered one probe late.
+        """
+        store = RemoteStore(
+            self.url,
+            schema=self.schema,
+            probe_cache_size=self.probe_cache_size,
+            timeout=self.timeout,
+            poll_interval=self.poll_interval,
+        )
+        store.sync_version(self.version)
+        return store

@@ -41,6 +41,7 @@ the pool initializer and re-syncs per chunk with
 from __future__ import annotations
 
 import itertools
+import os
 import sqlite3
 import threading
 from abc import ABC, abstractmethod
@@ -52,6 +53,39 @@ from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
 from repro.engine.tuples import Row
 from repro.engine.values import NULL, UNKNOWN
+
+
+class StoreError(RuntimeError):
+    """A master-store *infrastructure* failure (not a data error).
+
+    Data-shape problems (mismatched probe keys, foreign schemas) stay
+    ``ValueError``/``TypeError``; :class:`StoreError` subclasses mean the
+    backend itself is gone — a closed connection, a vanished database
+    file, an unreachable master server.  Every instance carries remedy
+    text, and the batch engine surfaces them in
+    :class:`~repro.repair.batch.BatchReport` (``store_errors``) so a
+    failed run names the infrastructure cause instead of a bare
+    ``RuntimeError``.
+    """
+
+
+class StoreDetachedError(StoreError):
+    """An operation hit a store whose backend connection was closed.
+
+    Raised by backends after :meth:`MasterStore` consumers call ``close()``
+    (or use a handle whose owner went away); the message names how to
+    re-open.
+    """
+
+
+class StoreUnavailableError(StoreError):
+    """The store's backing service or file cannot be reached.
+
+    Raised by :meth:`SqliteStoreHandle.reattach` when the shared database
+    file no longer exists, and by the remote backend when the master
+    server is unreachable; the message names the missing resource and the
+    remedy.
+    """
 
 
 class MasterStore(ABC):
@@ -85,6 +119,18 @@ class MasterStore(ABC):
     @abstractmethod
     def __iter__(self) -> Iterator[Row]:
         """Iterate master tuples in insertion order."""
+
+    def iter_from(self, start: int) -> Iterator[Row]:
+        """Insertion-order iteration beginning at position *start*.
+
+        The paging primitive behind the remote ``/rows`` endpoint: a
+        server answering windowed row requests calls this per window, so
+        backends that can *seek* (sqlite, via one ``OFFSET`` query)
+        override it to keep paged iteration O(n) overall instead of
+        re-iterating and discarding ``start`` rows per window.  The
+        default iterates and discards.
+        """
+        return itertools.islice(iter(self), start, None)
 
     @abstractmethod
     def probe(self, attrs: Iterable, key) -> tuple:
@@ -257,13 +303,29 @@ class InMemoryStore(MasterStore):
     def __iter__(self) -> Iterator[Row]:
         return self._relation.iter_rows()
 
+    def iter_from(self, start: int) -> Iterator[Row]:
+        # O(1) seek into the backing list (the default would re-iterate
+        # and discard `start` rows per /rows window when this store backs
+        # a MasterServer, turning paged iteration quadratic).
+        relation = self._relation
+        index = max(start, 0)
+        while index < len(relation):
+            yield relation.row_at(index)
+            index += 1
+
     def probe(self, attrs: Iterable, key) -> tuple:
         # The relation's lookup aliases the live index bucket (it shrinks
         # under deletes and grows under inserts); the public probe hands
         # out an immutable snapshot instead.
-        return tuple(self._relation.lookup(attrs, key))
+        return tuple(self.probe_ref(attrs, key))
 
     def probe_ref(self, attrs: Iterable, key):
+        attrs = tuple(attrs)
+        key = tuple(key)
+        if len(attrs) != len(key):
+            raise ValueError(
+                f"probe key {key} does not match attribute list {attrs}"
+            )
         return self._relation.lookup(attrs, key)
 
     def ensure_index(self, attrs: Iterable) -> None:
@@ -307,6 +369,59 @@ class InMemoryStore(MasterStore):
         with an older version invalidates on the next compare.
         """
         self._relation.replace_all(rows, mutation_count=version)
+
+
+class _ProbeLRU:
+    """Bounded LRU of ``(attrs, key) -> immutable probe tuple`` lines.
+
+    Shared by every backend fronting a slow medium (sqlite, HTTP): one
+    implementation of the hit/miss accounting, recency bumping and
+    eviction, so cache fixes cannot silently diverge per backend.  Not
+    itself thread-safe — callers hold their own lock around ``get``/
+    ``put``, exactly as they must around the surrounding bookkeeping.
+    """
+
+    __slots__ = ("_data", "maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int):
+        if maxsize < 0:
+            raise ValueError(f"probe_cache_size must be >= 0, got {maxsize}")
+        self._data: OrderedDict = OrderedDict()
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """The cached line (bumped most-recent) or None; counts hit/miss."""
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return entry
+
+    def put(self, key, value) -> None:
+        if not self.maxsize:
+            return
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def info(self) -> dict:
+        """Accounting snapshot (the benchmark layer's shape)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
 
 
 # -- sqlite value codec --------------------------------------------------------
@@ -391,13 +506,11 @@ class SqliteStore(MasterStore):
         re-streaming a master CSV into the same file) must pass
         ``fresh=True`` to clear the table first instead of duplicating it.
         """
-        if probe_cache_size < 0:
-            raise ValueError(
-                f"probe_cache_size must be >= 0, got {probe_cache_size}"
-            )
+        self._probe_cache = _ProbeLRU(probe_cache_size)
         self._schema = schema
         self._path = None if path is None else str(path)
         self._columns = [f"c{i}" for i in range(len(schema))]
+        self._closed = False
         self._lock = threading.RLock()
         # Autocommit: every mutation is durable immediately (a closed
         # on-disk store reopens with its rows), matching the one-statement
@@ -420,10 +533,6 @@ class SqliteStore(MasterStore):
         self._version = 0
         self._indexed: set = set()
         self._probe_plans: dict = {}  # attrs tuple -> prepared SELECT
-        self._probe_cache: OrderedDict = OrderedDict()
-        self._probe_cache_size = probe_cache_size
-        self._probe_hits = 0
-        self._probe_misses = 0
         self._active_cache: dict = {}
         self._insert_many(rows)
 
@@ -433,6 +542,16 @@ class SqliteStore(MasterStore):
         return cls(relation.schema, relation.iter_rows(), path=path, **kwargs)
 
     # -- introspection -------------------------------------------------------
+
+    def _guard(self) -> None:
+        """Typed failure for use-after-close (sqlite's own is a bare
+        ``ProgrammingError`` with no remedy)."""
+        if self._closed:
+            raise StoreDetachedError(
+                f"this SqliteStore ({self._path or ':memory:'}) has been "
+                f"closed; re-open it with SqliteStore(schema, path=...) "
+                f"or reattach() a handle detached from a live store"
+            )
 
     @property
     def schema(self) -> RelationSchema:
@@ -448,9 +567,27 @@ class SqliteStore(MasterStore):
     def __iter__(self) -> Iterator[Row]:
         # Window over rid rather than holding one cursor open: robust to
         # interleaved mutations and never materializes the whole table.
+        self._guard()
+        return self._iter_after_rid(-1)
+
+    def iter_from(self, start: int) -> Iterator[Row]:
+        """Seek with one ``OFFSET`` query, then window by rid as usual —
+        the remote ``/rows`` pager stays O(n) over a full iteration."""
+        self._guard()
+        if start <= 0:
+            return self._iter_after_rid(-1)
+        with self._lock:
+            record = self._db.execute(
+                "SELECT rid FROM master ORDER BY rid LIMIT 1 OFFSET ?",
+                (start,),
+            ).fetchone()
+        if record is None:
+            return iter(())
+        return self._iter_after_rid(record[0] - 1)
+
+    def _iter_after_rid(self, last: int) -> Iterator[Row]:
         schema = self._schema
         select = f"SELECT rid, {', '.join(self._columns)} FROM master"
-        last = -1
         while True:
             with self._lock:
                 batch = self._db.execute(
@@ -471,6 +608,7 @@ class SqliteStore(MasterStore):
     def ensure_index(self, attrs: Iterable) -> None:
         # Deduplicate (rule match lists may repeat one master column); the
         # WHERE clause still constrains every position of the probe key.
+        self._guard()
         columns = list(dict.fromkeys(self._column_of(a) for a in attrs))
         name = "idx_" + "_".join(columns)
         if name in self._indexed:
@@ -483,6 +621,7 @@ class SqliteStore(MasterStore):
             self._indexed.add(name)
 
     def probe(self, attrs: Iterable, key) -> tuple:
+        self._guard()
         attrs = tuple(attrs)
         key = tuple(key)
         if len(attrs) != len(key):
@@ -493,13 +632,10 @@ class SqliteStore(MasterStore):
         with self._lock:
             cached = self._probe_cache.get(cache_key)
             if cached is not None:
-                self._probe_hits += 1
-                self._probe_cache.move_to_end(cache_key)
                 # Cache lines are tuples, so handing out the cached object
                 # itself is safe: no caller can corrupt the cache by
                 # mutating a probe result (they used to be shared lists).
                 return cached
-            self._probe_misses += 1
         select = self._probe_plans.get(attrs)
         if select is None:
             self.ensure_index(attrs)
@@ -519,19 +655,8 @@ class SqliteStore(MasterStore):
                 Row(self._schema, [_decode(cell) for cell in record])
                 for record in records
             )
-            self._cache_probe(cache_key, result)
+            self._probe_cache.put(cache_key, result)
         return result
-
-    def _cache_probe(self, cache_key: tuple, result: tuple) -> None:
-        """Insert one (attrs, key) -> rows tuple line; evict LRU overflow.
-
-        Caller holds ``self._lock``.
-        """
-        if not self._probe_cache_size:
-            return
-        self._probe_cache[cache_key] = result
-        while len(self._probe_cache) > self._probe_cache_size:
-            self._probe_cache.popitem(last=False)
 
     #: How many probe keys one batched ``IN``-clause statement may carry;
     #: bounded so ``len(attrs) * _PROBE_BATCH`` stays far below sqlite's
@@ -547,6 +672,7 @@ class SqliteStore(MasterStore):
         ``WHERE (c1, ..., ck) IN (VALUES ...)`` over blocks of keys instead
         of one SELECT per key.
         """
+        self._guard()
         attrs = tuple(attrs)
         out: dict = {}
         pending: list = []  # (original key, encoded key) cache misses
@@ -562,11 +688,8 @@ class SqliteStore(MasterStore):
                     continue
                 cached = self._probe_cache.get((attrs, key))
                 if cached is not None:
-                    self._probe_hits += 1
-                    self._probe_cache.move_to_end((attrs, key))
                     out[key] = cached
                     continue
-                self._probe_misses += 1
                 try:
                     out[key] = ()  # filled below when rows come back
                     pending.append((key, tuple(_encode(v) for v in key)))
@@ -608,10 +731,11 @@ class SqliteStore(MasterStore):
                 for key, encoded in block:
                     rows = tuple(grouped.get(encoded, ()))
                     out[key] = rows
-                    self._cache_probe((attrs, key), rows)
+                    self._probe_cache.put((attrs, key), rows)
         return out
 
     def active_values(self, attr: str) -> set:
+        self._guard()
         with self._lock:
             cached = self._active_cache.get(attr)
             if cached is None:
@@ -627,12 +751,7 @@ class SqliteStore(MasterStore):
     def probe_cache_info(self) -> dict:
         """LRU accounting for the benchmark layer."""
         with self._lock:
-            return {
-                "hits": self._probe_hits,
-                "misses": self._probe_misses,
-                "size": len(self._probe_cache),
-                "maxsize": self._probe_cache_size,
-            }
+            return self._probe_cache.info()
 
     # -- process-boundary protocol -------------------------------------------
 
@@ -649,6 +768,7 @@ class SqliteStore(MasterStore):
         ``:memory:`` database exists in exactly one connection, so there is
         nothing a worker could re-open.
         """
+        self._guard()
         if self._path is None:
             raise ValueError(
                 "an in-memory SqliteStore cannot cross a fork/spawn "
@@ -658,7 +778,7 @@ class SqliteStore(MasterStore):
         return SqliteStoreHandle(
             schema=self._schema,
             path=self._path,
-            probe_cache_size=self._probe_cache_size,
+            probe_cache_size=self._probe_cache.maxsize,
             version=self._version,
         )
 
@@ -671,6 +791,7 @@ class SqliteStore(MasterStore):
         drop its connection-local caches and re-read the row count.  A
         no-op when the stamp already matches.
         """
+        self._guard()
         with self._lock:
             if version == self._version:
                 return
@@ -737,6 +858,7 @@ class SqliteStore(MasterStore):
                 self._bump()
 
     def insert(self, row) -> None:
+        self._guard()
         row = self._coerce(row)
         encoded = [_encode(v) for v in row.values]
         with self._lock:
@@ -745,6 +867,7 @@ class SqliteStore(MasterStore):
             self._bump()
 
     def delete(self, row) -> bool:
+        self._guard()
         row = self._coerce(row)
         try:
             encoded = [_encode(v) for v in row.values]
@@ -764,7 +887,11 @@ class SqliteStore(MasterStore):
         return True
 
     def close(self) -> None:
+        """Release the connection; later operations raise
+        :class:`StoreDetachedError` (with a remedy) instead of sqlite's
+        bare ``ProgrammingError``."""
         with self._lock:
+            self._closed = True
             self._db.close()
 
 
@@ -806,8 +933,18 @@ class SqliteStoreHandle:
 
         The reattached store starts at the parent's version stamp;
         :meth:`SqliteStore.sync_version` moves it when the parent mutates
-        the file mid-batch.
+        the file mid-batch.  A handle whose database file has vanished
+        raises :class:`StoreUnavailableError` — opening the path anyway
+        would silently hand the worker an *empty* master and turn every
+        certain fix into a user question.
         """
+        if not os.path.exists(self.path):
+            raise StoreUnavailableError(
+                f"cannot reattach SqliteStore: database file {self.path!r} "
+                f"no longer exists (deleted after detach?); re-create the "
+                f"master with SqliteStore(schema, rows, path=...) and "
+                f"detach() a fresh handle"
+            )
         store = SqliteStore(
             self.schema, path=self.path,
             probe_cache_size=self.probe_cache_size,

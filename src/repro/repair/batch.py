@@ -67,6 +67,7 @@ from typing import Callable, Iterable, Sequence
 from repro.engine.csvio import stream_rows_from_csv
 from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
+from repro.engine.store import StoreError
 from repro.engine.tuples import Row
 from repro.repair.certainfix import CertainFix, IncompleteFix
 from repro.repair.oracle import SimulatedUser
@@ -125,6 +126,12 @@ class BatchReport:
     suggestion_misses: int = 0
     cache_invalidations: int = 0
     master_version: int = 0
+    #: Messages of :class:`~repro.engine.store.StoreError` failures that
+    #: aborted the run (unreachable master server, closed connection,
+    #: vanished database file).  A run that raises a ``StoreError`` still
+    #: builds its report — sessions monitored before the failure, plus
+    #: this field — and attaches it to the exception as ``exc.report``.
+    store_errors: list = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -183,6 +190,7 @@ class BatchReport:
             },
             "cache_invalidations": self.cache_invalidations,
             "master_version": self.master_version,
+            "store_errors": list(self.store_errors),
         }
 
     def describe(self) -> str:
@@ -209,6 +217,8 @@ class BatchReport:
                 f"{self.cache_invalidations} time(s) "
                 f"(store version {self.master_version})"
             )
+        for message in self.store_errors:
+            lines.append(f"STORE FAILURE: {message}")
         for worker, stats in sorted(self.worker_stats.items()):
             lines.append(
                 f"  {worker}: {stats['tuples']} tuples in "
@@ -675,6 +685,17 @@ class BatchRepairEngine:
 
     # -- execution -------------------------------------------------------------
 
+    def _safe_store_version(self) -> int:
+        """The store version for reporting — never raises.
+
+        Reading a remote store's version can itself need the network; a
+        report built *because* the store died must not die the same way.
+        """
+        try:
+            return self._engine.store.version
+        except StoreError:
+            return self._engine._master_version
+
     def run(self, pairs: Iterable) -> BatchResult:
         """Monitor a stream of ``(dirty_row, oracle)`` pairs.
 
@@ -734,15 +755,24 @@ class BatchRepairEngine:
         max_inflight = 2 * self.concurrency
         pending: deque = deque()
         chunks = 0
+        store_failure = None
         started = time.perf_counter()
-        for chunk in _chunked(pairs, self.chunk_size):
-            task = self._task_for(chunks, chunk)
-            chunks += 1
-            pending.append(pool.submit(_process_worker_chunk, task))
-            if len(pending) >= max_inflight:
+        try:
+            for chunk in _chunked(pairs, self.chunk_size):
+                task = self._task_for(chunks, chunk)
+                chunks += 1
+                pending.append(pool.submit(_process_worker_chunk, task))
+                if len(pending) >= max_inflight:
+                    consume(pending.popleft())
+            while pending:
                 consume(pending.popleft())
-        while pending:
-            consume(pending.popleft())
+        except StoreError as exc:
+            # Infrastructure died mid-run (a worker's master connection,
+            # usually).  Report what completed and re-raise with the
+            # report attached — see BatchReport.store_errors.
+            store_failure = exc
+            for future in pending:
+                future.cancel()
         elapsed = time.perf_counter() - started
 
         report = BatchReport(
@@ -763,8 +793,14 @@ class BatchRepairEngine:
             suggestion_hits=totals["suggestions"][0],
             suggestion_misses=totals["suggestions"][1],
             cache_invalidations=totals["invalidations"],
-            master_version=engine.store.version,
+            master_version=self._safe_store_version(),
+            store_errors=(
+                [str(store_failure)] if store_failure is not None else []
+            ),
         )
+        if store_failure is not None:
+            store_failure.report = report
+            raise store_failure
         return BatchResult(sessions=sessions, report=report)
 
     def _run_threaded(self, pairs: Iterable) -> BatchResult:
@@ -778,6 +814,7 @@ class BatchRepairEngine:
 
         sessions: list = []
         chunks = 0
+        store_failure = None
         pool = (
             ThreadPoolExecutor(max_workers=self.concurrency)
             if self.concurrency > 1
@@ -801,6 +838,10 @@ class BatchRepairEngine:
                             session, index=len(sessions) + offset
                         )
                 sessions.extend(chunk_sessions)
+        except StoreError as exc:
+            # Infrastructure died mid-run; report what completed and
+            # re-raise with the report attached (BatchReport.store_errors).
+            store_failure = exc
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
@@ -830,8 +871,14 @@ class BatchRepairEngine:
             cache_invalidations=(
                 engine.cache_invalidations - invalidations_before
             ),
-            master_version=engine.store.version,
+            master_version=self._safe_store_version(),
+            store_errors=(
+                [str(store_failure)] if store_failure is not None else []
+            ),
         )
+        if store_failure is not None:
+            store_failure.report = report
+            raise store_failure
         return BatchResult(sessions=sessions, report=report)
 
     def run_dirty(self, dirty_tuples: Iterable) -> BatchResult:

@@ -180,6 +180,114 @@ def test_master_delete_disables_rule_fixes(backend):
     assert "val" in session.attrs_asserted_by_user
 
 
+def test_hypothesis_remote_vs_memory_interleavings():
+    """Property test (hypothesis): random interleavings of probe / insert /
+    delete / update against a RemoteStore vs a plain InMemoryStore must
+    produce identical fixed outputs and identical version *observations*
+    (the stamp moves iff a mutation succeeded, in lockstep per backend).
+
+    Complements ``test_fuzz_backends_stay_identical_under_random_mutations``
+    (one seeded walk): hypothesis drives many interleavings and shrinks a
+    failure to the minimal op sequence.
+    """
+    hypothesis = pytest.importorskip("hypothesis")
+    st = hypothesis.strategies
+    from repro.engine.remote import MasterServer, RemoteStore
+
+    keys = [f"k{i}" for i in range(5)]
+
+    @hypothesis.settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[hypothesis.HealthCheck.too_slow,
+                               hypothesis.HealthCheck.data_too_large],
+    )
+    @hypothesis.given(data=st.data())
+    def run(data):
+        schema, rules, rows = _tiny_bundle()
+        memory = InMemoryStore(Relation(schema, list(rows)))
+        backing = InMemoryStore(Relation(schema, list(rows)))
+        with MasterServer(backing) as server:
+            remote = RemoteStore(server.url)
+            engines = {
+                "memory": BatchRepairEngine(rules, memory, schema,
+                                            use_bdd=False),
+                "remote": BatchRepairEngine(rules, remote, schema,
+                                            use_bdd=False),
+            }
+            stores = {"memory": memory, "remote": remote}
+            known = list(rows)
+            next_id = [0]
+
+            def do_insert():
+                key = data.draw(st.sampled_from(keys), label="insert key")
+                row = Row(schema, (key, f"v{next_id[0]}"))
+                next_id[0] += 1
+                # unique keys per master, or the rule hits a MasterConflict
+                for existing in list(known):
+                    if existing["key"] == key:
+                        assert memory.delete(existing)
+                        assert remote.delete(existing)
+                        known.remove(existing)
+                memory.insert(row)
+                remote.insert(row)
+                known.append(row)
+
+            def do_delete():
+                if len(known) <= 1:
+                    return
+                victim = known.pop(
+                    data.draw(st.integers(0, len(known) - 1), label="victim")
+                )
+                assert memory.delete(victim)
+                assert remote.delete(victim)
+
+            def do_update():
+                if not known:
+                    return
+                index = data.draw(st.integers(0, len(known) - 1),
+                                  label="update index")
+                old = known[index]
+                new = Row(schema, (old["key"], f"v{next_id[0]}"))
+                next_id[0] += 1
+                assert memory.update(old, new)
+                assert remote.update(old, new)
+                known[index] = new
+
+            def do_probe():
+                key = data.draw(st.sampled_from(keys), label="probe key")
+                assert memory.probe(("key",), (key,)) == \
+                    remote.probe(("key",), (key,))
+
+            actions = {"insert": do_insert, "delete": do_delete,
+                       "update": do_update, "probe": do_probe}
+            for _ in range(data.draw(st.integers(2, 8), label="ops")):
+                before = {n: s.version for n, s in stores.items()}
+                actions[data.draw(st.sampled_from(sorted(actions)),
+                                  label="action")]()
+                # version observations move in lockstep: bumped on both
+                # backends or on neither
+                moved = {n: s.version > before[n] for n, s in stores.items()}
+                assert moved["memory"] == moved["remote"]
+
+                if not known:
+                    continue
+                target = known[data.draw(
+                    st.integers(0, len(known) - 1), label="target")]
+                dirty = Row(schema, (target["key"], "dirty"))
+                clean = Row(schema, (target["key"], target["val"]))
+                outputs = {
+                    name: engine.run([(dirty, SimulatedUser(clean))]).sessions
+                    for name, engine in engines.items()
+                }
+                _assert_sessions_identical(outputs["memory"],
+                                           outputs["remote"])
+                assert outputs["memory"][0].final == clean
+            assert list(memory) == list(remote)
+
+    run()
+
+
 def test_fuzz_backends_stay_identical_under_random_mutations():
     """Property test: interleave random master mutations with monitoring;
     after every step both backends report the same version delta and fix
