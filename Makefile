@@ -4,10 +4,34 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test conformance smoke bench bench-store example
+.PHONY: test conformance smoke bench bench-store example lint lint-rules
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static analysis over the codebase itself: ruff (pyflakes + pycodestyle
+# error families) and mypy (strict-leaning on repro.lint / repro.core).
+# Both are CI-only dev deps (requirements-dev.txt), config in
+# pyproject.toml.
+lint:
+	$(PYTHON) -m ruff check src tests
+	$(PYTHON) -m mypy -p repro.lint -p repro.core
+
+# The domain analyzer over the shipped rule sets: `repro lint` must report
+# zero error-level findings on HOSP and DBLP (warnings are expected —
+# both sets legitimately trip W202/W105/I107).  CI uploads the SARIF.
+lint-rules:
+	$(PYTHON) -m repro.lint.fixtures --out-dir $${LINT_FIXTURES:-/tmp/lint-fixtures}
+	$(PYTHON) -m repro lint \
+		--rules $${LINT_FIXTURES:-/tmp/lint-fixtures}/hosp.rules.json \
+		--master $${LINT_FIXTURES:-/tmp/lint-fixtures}/hosp.master.csv \
+		--fail-on error --format sarif \
+		--output $${LINT_FIXTURES:-/tmp/lint-fixtures}/hosp.sarif
+	$(PYTHON) -m repro lint \
+		--rules $${LINT_FIXTURES:-/tmp/lint-fixtures}/dblp.rules.json \
+		--master $${LINT_FIXTURES:-/tmp/lint-fixtures}/dblp.master.csv \
+		--fail-on error --format sarif \
+		--output $${LINT_FIXTURES:-/tmp/lint-fixtures}/dblp.sarif
 
 # The MasterStore contract suite against every backend (memory, sqlite
 # file + :memory:, remote HTTP).  A subset of `test`, but named so a

@@ -58,6 +58,22 @@ class DependencyGraph:
         semantics still terminates because each attribute is set once)."""
         return not nx.is_directed_acyclic_graph(self._graph)
 
+    def find_cycle(self):
+        """One witness cycle as a list of rule names, or ``None`` if acyclic.
+
+        ``has_cycle`` only answers yes/no; the lint layer and ``analyze``
+        want to *show* the cycle.  The list names the rules in traversal
+        order (the edge from the last back to the first closes the cycle);
+        self-loops cannot occur (a rule's ``B`` never lies in its own
+        ``X``, and a pattern condition on ``B`` does not add an edge to
+        itself in this graph's u != v construction).
+        """
+        try:
+            edges = nx.find_cycle(self._graph)
+        except nx.NetworkXNoCycle:
+            return None
+        return [self.rules[u].name for u, v in edges]
+
     def stratification(self) -> list:
         """Rule indices grouped by SCC condensation, in topological order.
 

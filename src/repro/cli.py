@@ -1,14 +1,21 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands wrap the library for file-based use:
+Six commands wrap the library for file-based use:
 
 * ``analyze``      — load rules (JSON) and master data (CSV), report the
   rule dependency structure, the certain regions, and the user burden;
+  structurally lints the rule file first (exit 2 on error findings);
+* ``lint``         — run the :mod:`repro.lint` static analyzer over a rule
+  file and a master backend (memory/sqlite/remote) and render the report
+  as text, JSON, or SARIF; ``--fail-on`` turns findings into exit code 1
+  (the CI gate);
 * ``mine``         — discover editing rules from a master CSV and write
   them as a JSON rule file (review before deploying; see ablation A4);
+  lints the discovered rules first unless ``--no-lint``;
 * ``batch-repair`` — stream a dirty CSV through the batch repair engine
   (shared caches, chunked execution, optional concurrency) and write the
-  repaired rows plus a throughput report;
+  repaired rows plus a throughput report; ``--preflight`` controls the
+  engine's structural lint gate;
 * ``serve-master`` — expose a master CSV (memory- or sqlite-backed) as an
   HTTP master server that remote ``batch-repair --master-backend remote``
   clients consult through a read-through cache;
@@ -29,17 +36,50 @@ from repro.engine.csvio import relation_from_csv, relation_to_csv
 from repro.repair.region_search import comp_c_region, g_region
 
 
+def _load_rules_file(path: str):
+    """Parse a rule JSON file, raising ``ValueError`` with the E100 shape
+    on malformed content (the CLI-level 'unparsable-rules' diagnostic)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        return rule_io.loads(text)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ValueError(
+            f"E100 [unparsable-rules]: {path} is not a valid rule file: "
+            f"{exc}"
+        ) from exc
+
+
 def _cmd_analyze(args) -> int:
-    master = relation_from_csv(args.master)
-    with open(args.rules, encoding="utf-8") as handle:
-        rules = rule_io.loads(handle.read())
+    from repro.lint import structural_report
+
+    try:
+        master = relation_from_csv(args.master)
+        rules = _load_rules_file(args.rules)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     schema = master.schema  # same-schema deployments (R = Rm), as in Sect. 6
+
+    # Structural preflight: a rule naming an unknown attribute used to die
+    # deep inside comp_c_region with a bare KeyError; fail with the
+    # diagnostics instead.
+    report = structural_report(rules, schema)
+    if report.errors:
+        print(f"error: {args.rules} fails structural lint:", file=sys.stderr)
+        for diagnostic in report.errors:
+            print(diagnostic.describe(), file=sys.stderr)
+        print("(run `repro lint` for the full report)", file=sys.stderr)
+        return 2
 
     print(f"master data : {len(master)} tuples over {len(schema)} attributes")
     print(f"rule set    : {len(rules)} editing rules")
     graph = DependencyGraph(rules)
-    print(f"dependencies: {graph.edge_count} edges"
-          f"{' (cyclic)' if graph.has_cycle else ''}")
+    cycle = graph.find_cycle()
+    cycle_note = (
+        f" (cyclic: {' -> '.join(cycle + [cycle[0]])})" if cycle else ""
+    )
+    print(f"dependencies: {graph.edge_count} edges{cycle_note}")
     unfixable = sorted(mandatory_attrs(schema, rules))
     print(f"unfixable   : {unfixable} (must be user-validated)")
 
@@ -70,12 +110,62 @@ def _cmd_mine(args) -> int:
     print(f"mined {len(discovered)} rules from {len(master)} master tuples")
     for d in discovered[: args.show]:
         print(f"  {d.describe()}")
-    text = rule_io.dumps(rules_only(discovered))
+    rules = rules_only(discovered)
+    if args.lint:
+        from repro.lint import run_lint
+
+        report = run_lint(rules, master.schema, master)
+        print(f"lint: {report.summary()}")
+        if report.errors:
+            for diagnostic in report.errors:
+                print(diagnostic.describe(), file=sys.stderr)
+            print(f"error: refusing to write {args.output}: discovered "
+                  f"rules have error-level lint findings (re-run with "
+                  f"--no-lint to write them anyway)", file=sys.stderr)
+            return 2
+    text = rule_io.dumps(rules)
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     print(f"\nwrote {args.output} - review before deploying (an FD that "
           f"holds on master data need not be a domain invariant).")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.engine.store import StoreError, as_master_store
+    from repro.lint import run_lint, sarif_rule_metadata
+
+    try:
+        rules = _load_rules_file(args.rules)
+        store = as_master_store(_load_master_store(args))
+    except (OSError, ValueError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_lint(rules, store.schema, store)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "text":
+        rendered = report.describe()
+    elif args.format == "json":
+        rendered = report.to_json()
+    else:
+        rendered = json.dumps(
+            report.to_sarif(
+                artifact_uri=args.rules,
+                rule_metadata=sarif_rule_metadata(report.passes_run),
+            ),
+            indent=2,
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.format} report to {args.output}")
+        print(report.summary())
+    else:
+        print(rendered)
+    return 1 if report.fails(args.fail_on) else 0
 
 
 def _load_master_store(args):
@@ -142,6 +232,7 @@ def _cmd_batch_repair(args) -> int:
             concurrency=workers,
             mp_start_method=args.start_method,
             on_incomplete=args.on_incomplete,
+            preflight=args.preflight,
             max_rounds=args.max_rounds,
         )
         with engine:
@@ -234,7 +325,57 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-key", type=int, default=2)
     mine.add_argument("--min-selectivity", type=float, default=0.01)
     mine.add_argument("--show", type=int, default=10)
+    mine.add_argument(
+        "--lint", action=argparse.BooleanOptionalAction, default=True,
+        help="lint discovered rules before writing; error-level findings "
+             "fail the command (--no-lint skips the check)",
+    )
     mine.set_defaults(func=_cmd_mine)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze a rule file against a master backend",
+    )
+    lint.add_argument("--rules", required=True, help="rules JSON file")
+    lint.add_argument(
+        "--master",
+        help="master data CSV (required for the memory and sqlite "
+             "backends; not used with --master-backend remote)",
+    )
+    lint.add_argument(
+        "--master-backend", choices=("memory", "sqlite", "remote"),
+        default="memory",
+        help="master-data backend the master-aware passes probe (same "
+             "choices as batch-repair)",
+    )
+    lint.add_argument(
+        "--sqlite-path",
+        help="with --master-backend sqlite: database file to use "
+             "(default: private in-memory database)",
+    )
+    lint.add_argument(
+        "--master-url",
+        help="with --master-backend remote: base URL of the master server",
+    )
+    lint.add_argument(
+        "--master-poll", type=float, default=None, metavar="SECONDS",
+        help="with --master-backend remote: version re-poll interval",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report rendering (default: text)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning", "info"), default="error",
+        help="exit 1 when findings at/above this severity exist "
+             "(default: error)",
+    )
+    lint.add_argument(
+        "--output",
+        help="write the rendered report to this file instead of stdout "
+             "(the summary still prints; used for CI SARIF artifacts)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     batch = sub.add_parser(
         "batch-repair",
@@ -304,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--on-incomplete", choices=("keep", "raise"), default="keep",
         help="policy for sessions that exhaust --max-rounds",
+    )
+    batch.add_argument(
+        "--preflight", choices=("error", "warn", "off"), default="error",
+        help="structural lint gate before precompute: 'error' refuses "
+             "rule programs with error-level findings, 'warn' prints "
+             "findings and continues, 'off' skips linting",
     )
     batch.add_argument("--no-bdd", action="store_true",
                        help="disable the shared Suggest+ BDD cache")

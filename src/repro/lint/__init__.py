@@ -1,0 +1,114 @@
+"""repro.lint — static analysis for editing-rule programs.
+
+Section 4 of the paper decides *before any repair runs* whether a rule
+program can guarantee certain fixes; this package turns that machinery
+(plus cheaper structural checks) into an operable analyzer with stable
+diagnostic codes, machine-readable reports (JSON / SARIF 2.1.0), and
+preflight gates in front of every expensive precompute path
+(``repro analyze``, ``repro mine``, :class:`~repro.repair.batch.\
+BatchRepairEngine`).
+
+Diagnostic code reference
+=========================
+
+Structural passes (``rules`` + ``schema`` only; cheap, total, preflight):
+
+======  ========================  =========================================
+Code    Name                      Meaning / remedy
+======  ========================  =========================================
+E100    unparsable-rules          The rule file is not valid rule JSON
+                                  (emitted by the CLI loader, not a pass).
+                                  Fix the JSON; see ``repro.io``.
+E101    unknown-attribute         A rule names an attribute absent from the
+                                  input or master schema.  Rename it or
+                                  extend the schema (close matches are
+                                  suggested).
+E102    unsatisfiable-pattern     A pattern/guard condition no domain value
+                                  can satisfy.  Fix the constant or widen
+                                  the domain.
+W103    duplicate-rule            Two rules identical up to the name.
+                                  Delete one (fix-it provided).
+W104    subsumed-rule             A rule's applicability is contained in a
+                                  more general rule with the same keys and
+                                  target.  Delete or differentiate it.
+W105    dependency-cycle          The rule dependency graph is cyclic (a
+                                  witness cycle is printed).  Legal but
+                                  often unintended.
+W106    self-referential-premise  A rule's pattern reads its own target, so
+                                  it only fires once the target is already
+                                  validated.  Drop the condition.
+I107    unfixable-attributes      Attributes no rule fixes; they must be
+                                  user-validated in every region.  Expected
+                                  for entity keys.
+W108    dead-rule                 The rule's premise is unreachable from
+                                  the mandatory start through any rule
+                                  chain; it never fires.  Add rules fixing
+                                  the missing premise attributes.
+======  ========================  =========================================
+
+Master-aware passes (additionally read ``Dm`` through the ``MasterStore``
+seam; bounded — a finding is a concrete witness, silence is not a proof):
+
+======  ========================  =========================================
+W201    zero-support              No master tuple can ever fire the rule
+                                  (or the master is empty).  Check guard
+                                  constants against the data.
+W202    non-confluent-pair        Two rules fixing one attribute diverge on
+                                  a concrete witness input (bounded chase).
+                                  Make patterns exclusive or exclude such
+                                  inputs via the region tableau.
+E203    ambiguous-master-key      The rule's master key columns are not a
+                                  key of the eligible master tuples, so
+                                  probes return conflicting values.
+                                  Deduplicate or widen the key.
+W204    null-master-values        A master column rules read contains
+                                  NULL/UNKNOWN.  Complete the data or guard
+                                  against it.
+======  ========================  =========================================
+
+Master-aware results are cached per store keyed on ``(rule fingerprint,
+store version, budgets)``; see :mod:`repro.lint.runner`.
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+)
+from repro.lint.registry import (
+    MASTER,
+    STRUCTURAL,
+    LintContext,
+    LintPass,
+    registered_passes,
+)
+
+# Importing the pass modules registers every pass with the registry.
+from repro.lint import master_aware, structural  # noqa: F401  (registration)
+from repro.lint.runner import (
+    PREFLIGHT_MODES,
+    preflight,
+    rules_fingerprint,
+    run_lint,
+    sarif_rule_metadata,
+    structural_report,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "Severity",
+    "LintContext",
+    "LintPass",
+    "STRUCTURAL",
+    "MASTER",
+    "registered_passes",
+    "PREFLIGHT_MODES",
+    "preflight",
+    "rules_fingerprint",
+    "run_lint",
+    "sarif_rule_metadata",
+    "structural_report",
+]

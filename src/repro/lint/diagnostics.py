@@ -1,0 +1,286 @@
+"""Structured diagnostics: the lint layer's data model.
+
+A :class:`Diagnostic` is one finding of one pass — a stable code, a
+severity, the offending rule (name and index into the rule file, when the
+finding is rule-scoped), a human message, remedy text, and optionally a
+machine-applyable fix-it (a plain dict an editor or script can act on).
+A :class:`LintReport` aggregates the findings of one lint run and renders
+them as human text, as a JSON document, or as a SARIF 2.1.0 log that CI
+systems ingest natively.
+
+Severities follow the QFix-style triage (PAPERS.md, arXiv 1601.07539):
+
+* ``error``   — the rule program is wrong: it will crash the analyses or
+  can produce fixes that violate the certain-fix guarantee;
+* ``warning`` — the program is suspicious: dead weight, order-dependent
+  behaviour, or master data that undermines a rule;
+* ``info``    — facts worth knowing (e.g. which attributes no rule fixes).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """Triage level of one diagnostic (ordered: error > warning > info)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Lower rank = more severe (errors sort first)."""
+        return _RANKS[self]
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF ``level`` spelling (SARIF calls info ``note``)."""
+        return "note" if self is Severity.INFO else self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text)
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_RANKS = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code plus everything needed to act on it.
+
+    ``rule`` / ``rule_index`` locate the finding in the rule file (the
+    index is the rule's position in the JSON ``rules`` array); both are
+    ``None`` for findings about the program or master data as a whole.
+    ``fixit``, when present, is a machine-applyable edit such as
+    ``{"action": "remove_rule", "rule_index": 3}``.  ``data`` carries
+    machine-readable evidence (a witness cycle, conflicting values...).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    rule: Optional[str] = None
+    rule_index: Optional[int] = None
+    remedy: Optional[str] = None
+    fixit: Optional[Dict[str, Any]] = None
+    data: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        for key in ("rule", "rule_index", "remedy", "fixit", "data"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def describe(self) -> str:
+        where = ""
+        if self.rule is not None:
+            where = f" [{self.rule}"
+            if self.rule_index is not None:
+                where += f" #{self.rule_index}"
+            where += "]"
+        lines = [f"{self.severity.value:7s} {self.code}{where}: {self.message}"]
+        if self.remedy:
+            lines.append(f"        remedy: {self.remedy}")
+        return "\n".join(lines)
+
+
+def _sort_key(diagnostic: Diagnostic) -> Tuple[int, str, int, str]:
+    index = diagnostic.rule_index
+    return (
+        diagnostic.severity.rank,
+        diagnostic.code,
+        index if index is not None else 1 << 30,
+        diagnostic.message,
+    )
+
+
+#: SARIF schema pinned by the report (the stable 2.1.0 final schema).
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found, in a stable, renderable order.
+
+    Diagnostics are kept sorted by (severity, code, rule index, message)
+    so text, JSON, and SARIF output are deterministic for a given
+    ``(rules, master)`` input — the property the golden-output tests pin.
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    rules_linted: int = 0
+    passes_run: Tuple[str, ...] = ()
+    master_version: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.diagnostics = sorted(self.diagnostics, key=_sort_key)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def fails(self, threshold: str = "error") -> bool:
+        """Whether findings at/above *threshold* exist (the CI gate test).
+
+        ``threshold`` is a severity name: ``"error"`` fails only on
+        errors, ``"warning"`` on warnings or errors, ``"info"`` on any
+        finding at all.
+        """
+        limit = Severity.parse(threshold).rank
+        return any(d.severity.rank <= limit for d in self.diagnostics)
+
+    # -- rendering -------------------------------------------------------------
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s) from {len(self.passes_run)} pass(es) "
+            f"over {self.rules_linted} rule(s)"
+        )
+
+    def describe(self) -> str:
+        """Human text: one block per diagnostic plus a summary line."""
+        lines = [d.describe() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "version": 1,
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+                "rules_linted": self.rules_linted,
+                "passes_run": list(self.passes_run),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        if self.master_version is not None:
+            out["summary"]["master_version"] = self.master_version
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=repr)
+
+    def to_sarif(
+        self,
+        artifact_uri: Optional[str] = None,
+        rule_metadata: Optional[Iterable[Dict[str, Any]]] = None,
+    ) -> Dict[str, Any]:
+        """The report as a SARIF 2.1.0 log (one run, logical locations).
+
+        *artifact_uri*, when given, names the linted rule file so viewers
+        can attach results to it.  *rule_metadata* is the tool's rule
+        table (id + description per diagnostic code); the runner supplies
+        it from the pass registry.
+        """
+        results = []
+        for d in self.diagnostics:
+            text = d.message if not d.remedy else f"{d.message} {d.remedy}"
+            result: Dict[str, Any] = {
+                "ruleId": d.code,
+                "level": d.severity.sarif_level,
+                "message": {"text": text},
+            }
+            location: Dict[str, Any] = {}
+            if d.rule is not None:
+                logical: Dict[str, Any] = {"name": d.rule, "kind": "object"}
+                if d.rule_index is not None:
+                    logical["fullyQualifiedName"] = f"rules[{d.rule_index}]"
+                location["logicalLocations"] = [logical]
+            if artifact_uri is not None:
+                location["physicalLocation"] = {
+                    "artifactLocation": {"uri": artifact_uri}
+                }
+            if location:
+                result["locations"] = [location]
+            if d.data is not None:
+                result["properties"] = json.loads(
+                    json.dumps(d.data, default=repr)
+                )
+            results.append(result)
+        driver: Dict[str, Any] = {
+            "name": "repro-lint",
+            "informationUri": (
+                "https://github.com/paper-repro/certain-fixes"
+            ),
+            "rules": list(rule_metadata or ()),
+        }
+        return {
+            "$schema": SARIF_SCHEMA,
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {"driver": driver},
+                    "results": results,
+                }
+            ],
+        }
+
+
+class LintError(ValueError):
+    """A rule program was rejected by a lint preflight.
+
+    Raised by :class:`~repro.repair.batch.BatchRepairEngine` (with
+    ``preflight="error"``) and the CLI preflights when error-level
+    diagnostics exist; carries the full :class:`LintReport` as
+    :attr:`report` so callers can render or serialize the findings.
+    """
+
+    def __init__(self, report: LintReport, context: str = "rule program"):
+        self.report = report
+        errors = report.errors
+        detail = "\n".join(d.describe() for d in errors)
+        super().__init__(
+            f"{context} failed lint preflight with {len(errors)} "
+            f"error-level finding(s):\n{detail}\n"
+            f"(run `repro lint` for the full report, or pass "
+            f"preflight='off' to skip the gate)"
+        )

@@ -1,0 +1,59 @@
+"""Write the shipped HOSP/DBLP rule sets + masters as lintable files.
+
+The CI lint gate (``make lint-rules``) runs ``repro lint --fail-on error``
+over the rule sets this repo ships; those live as in-memory generators
+(:mod:`repro.datasets`), so this module materialises them::
+
+    python -m repro.lint.fixtures --out-dir /tmp/lint-fixtures
+
+writes ``{hosp,dblp}.rules.json`` and ``{hosp,dblp}.master.csv`` with the
+same generator parameters the test suite pins golden lint outputs for.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import io as rule_io
+from repro.datasets import make_dblp, make_hosp
+from repro.engine.csvio import relation_to_csv
+
+#: The bundle parameters the golden lint tests pin (tests/test_lint.py).
+BUNDLES = {
+    "hosp": lambda: make_hosp(num_hospitals=30, num_measures=5, seed=7),
+    "dblp": lambda: make_dblp(
+        num_papers=150, num_authors=60, num_venues=12, seed=11
+    ),
+}
+
+
+def write_fixtures(out_dir) -> list:
+    """Materialise every bundle under *out_dir*; returns written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, build in BUNDLES.items():
+        bundle = build()
+        rules_path = out / f"{name}.rules.json"
+        rules_path.write_text(rule_io.dumps(bundle.rules) + "\n")
+        master_path = out / f"{name}.master.csv"
+        relation_to_csv(bundle.master, master_path)
+        written.extend([rules_path, master_path])
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out-dir", default="/tmp/lint-fixtures",
+        help="directory to write rule/master fixture files into",
+    )
+    args = parser.parse_args(argv)
+    for path in write_fixtures(args.out_dir):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

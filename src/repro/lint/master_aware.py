@@ -1,0 +1,352 @@
+"""Master-aware lint passes: findings that need ``Dm`` itself.
+
+These passes read master data through the :class:`MasterStore` seam, so
+they work identically against memory, sqlite, and remote backends.  The
+underlying questions (consistency of a rule program, Theorems 1–2) are
+coNP-complete, so every pass here is *bounded*: scans stop at
+``LintContext.max_master_rows`` and the confluence search chases at most
+``max_witness_pairs`` constructed inputs under a
+``max_chase_states``-bounded exhaustive chase.  A finding is therefore
+always a concrete witness; silence is "no witness within budget", not a
+proof of absence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.chase import ChaseExplosion, explore_fixes
+from repro.core.rules import EditingRule
+from repro.engine.values import NULL, UNKNOWN
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import MASTER, LintContext, lint_pass
+
+
+def _master_conditions(rule: EditingRule) -> List[Tuple[str, object]]:
+    """The master-side conditions a tuple must pass to ever fire *rule*.
+
+    The guard applies directly; a pattern condition on a match-key
+    attribute ``a ∈ X`` transfers to ``λφ(a)`` because any input the rule
+    applies to satisfies ``t[a] = tm[λφ(a)]`` and ``t[a] ≈ tp[a]``.
+    """
+    conditions = [
+        (attr, cond) for attr, cond in rule.master_guard.items()
+        if not cond.is_wildcard
+    ]
+    for attr, cond in rule.pattern.items():
+        if cond.is_wildcard or attr not in rule.lhs:
+            continue
+        conditions.append((rule.master_attr_of(attr), cond))
+    return conditions
+
+
+def _eligible(tm, conditions: List[Tuple[str, object]]) -> bool:
+    try:
+        return all(cond.matches(tm[attr]) for attr, cond in conditions)
+    except KeyError:
+        return False  # unknown master attr: E101 territory, not ours
+
+
+def _rule_is_typed(ctx: LintContext, rule: EditingRule) -> bool:
+    """Whether every master attribute the rule names exists (else the pass
+    would crash on E101 ground — structural findings own that)."""
+    master_attrs = set(rule.lhs_m) | {rule.rhs_m} | set(rule.master_guard.attrs)
+    return all(a in ctx.master_schema for a in master_attrs)
+
+
+@lint_pass(
+    "W201", "zero-support", MASTER,
+    "No master tuple can ever fire the rule (zero support in Dm).",
+)
+def check_zero_support(ctx: LintContext) -> List[Diagnostic]:
+    """A rule with no eligible master tuple is dead weight in *this*
+    deployment: every probe it ever makes comes back empty."""
+    store = ctx.store
+    if store is None:
+        return []
+    if len(store) == 0:
+        return [Diagnostic(
+            code="W201",
+            severity=Severity.WARNING,
+            message=(
+                "master data is empty: no rule can ever fire and no "
+                "certain region exists"
+            ),
+            remedy="load master tuples before relying on any repair",
+            data={"master_rows": 0},
+        )]
+    if len(store) > ctx.max_master_rows:
+        return []  # scan over budget: stay silent rather than stall
+    targets = []
+    for index, rule in enumerate(ctx.rules):
+        if not _rule_is_typed(ctx, rule):
+            continue
+        targets.append((index, rule, _master_conditions(rule)))
+    unsupported = {index for index, _, _ in targets}
+    for tm in store:
+        if not unsupported:
+            break
+        for index, rule, conditions in targets:
+            if index in unsupported and _eligible(tm, conditions):
+                unsupported.discard(index)
+    out = []
+    for index, rule, conditions in targets:
+        if index not in unsupported:
+            continue
+        out.append(Diagnostic(
+            code="W201",
+            severity=Severity.WARNING,
+            rule=rule.name,
+            rule_index=index,
+            message=(
+                f"zero support: none of the {len(store)} master tuples "
+                f"satisfies the rule's master guard and transferred "
+                f"pattern conditions, so the rule can never fire"
+            ),
+            remedy=(
+                "check the guard/pattern constants against the master "
+                "data, or drop the rule for this deployment"
+            ),
+            data={"master_rows": len(store)},
+        ))
+    return out
+
+
+@lint_pass(
+    "E203", "ambiguous-master-key", MASTER,
+    "A rule's master key columns are not a key of (the eligible part of) "
+    "Dm: probes return conflicting values.",
+)
+def check_ambiguous_master_key(ctx: LintContext) -> List[Diagnostic]:
+    """Certain fixes assume ``Dm`` is consistent and duplicate-free
+    (Sect. 2): when two eligible master tuples agree on ``Xm`` but
+    disagree on ``Bm``, one probe yields two contradictory fixes and the
+    unique-fix guarantee is gone for every input hitting that key."""
+    store = ctx.store
+    if store is None or not 0 < len(store) <= ctx.max_master_rows:
+        return []
+    out = []
+    for index, rule in enumerate(ctx.rules):
+        if not _rule_is_typed(ctx, rule):
+            continue
+        conditions = _master_conditions(rule)
+        values_by_key: Dict[tuple, set] = {}
+        witness: Optional[tuple] = None
+        for tm in store:
+            if not _eligible(tm, conditions):
+                continue
+            key = tuple(tm[a] for a in rule.lhs_m)
+            seen = values_by_key.setdefault(key, set())
+            seen.add(tm[rule.rhs_m])
+            if len(seen) > 1:
+                witness = key
+                break
+        if witness is None:
+            continue
+        out.append(Diagnostic(
+            code="E203",
+            severity=Severity.ERROR,
+            rule=rule.name,
+            rule_index=index,
+            message=(
+                f"master key {list(rule.lhs_m)} is not a key of the "
+                f"eligible master tuples: key {list(witness)} maps to "
+                f"{len(values_by_key[witness])} distinct "
+                f"{rule.rhs_m!r} values "
+                f"{sorted(map(repr, values_by_key[witness]))}"
+            ),
+            remedy=(
+                "deduplicate the master data on these columns or widen "
+                "the rule's match key until probes are unambiguous"
+            ),
+            data={
+                "key_attrs": list(rule.lhs_m),
+                "key": [repr(v) for v in witness],
+                "values": sorted(repr(v) for v in values_by_key[witness]),
+            },
+        ))
+    return out
+
+
+@lint_pass(
+    "W204", "null-master-values", MASTER,
+    "A master column rules read contains NULL/UNKNOWN values.",
+)
+def check_null_master_values(ctx: LintContext) -> List[Diagnostic]:
+    """Master data is "consistent and complete" by assumption (Sect. 1);
+    a NULL in a column rules copy from means fixes can *install* missing
+    values, and a NULL in a key column silently never matches guarded
+    probes.  One diagnostic per affected column, naming the rules."""
+    store = ctx.store
+    if store is None or len(store) == 0:
+        return []
+    readers: Dict[str, List[str]] = {}
+    for rule in ctx.rules:
+        attrs = set(rule.lhs_m) | {rule.rhs_m} | set(rule.master_guard.attrs)
+        for attr in attrs:
+            if attr in ctx.master_schema:
+                readers.setdefault(attr, []).append(rule.name)
+    out = []
+    for attr in sorted(readers):
+        active = store.active_values(attr)
+        missing = [
+            repr(sentinel) for sentinel in (NULL, UNKNOWN)
+            if sentinel in active
+        ]
+        if not missing:
+            continue
+        out.append(Diagnostic(
+            code="W204",
+            severity=Severity.WARNING,
+            message=(
+                f"master column {attr!r} contains {'/'.join(missing)} "
+                f"values but is read by rule(s) "
+                f"{sorted(set(readers[attr]))}"
+            ),
+            remedy=(
+                "complete the master data for this column, or guard the "
+                "rules with a not-NULL condition on it"
+            ),
+            data={"attr": attr, "rules": sorted(set(readers[attr])),
+                  "sentinels": missing},
+        ))
+    return out
+
+
+def _fresh(attr: str) -> str:
+    """A value guaranteed absent from real data (tagged, non-CSV-able)."""
+    return f"\x00fresh:{attr}"
+
+
+def _joint_input(
+    first: EditingRule, second: EditingRule, tm_a, tm_b
+) -> Optional[dict]:
+    """An input tuple both ``(first, tm_a)`` and ``(second, tm_b)`` apply
+    to, or ``None`` when the two applications are incompatible.
+
+    Match keys force ``t[a] = tm[λφ(a)]`` per rule; pattern constants fill
+    remaining premise attributes; negated conditions get a fresh value
+    that trivially differs from the negated constant.
+    """
+    assignment: dict = {}
+    for rule, tm in ((first, tm_a), (second, tm_b)):
+        for attr in rule.lhs:
+            value = tm[rule.master_attr_of(attr)]
+            if assignment.setdefault(attr, value) != value:
+                return None
+    for rule in (first, second):
+        for attr, cond in rule.pattern.items():
+            if attr in assignment:
+                if not cond.is_wildcard and not cond.matches(assignment[attr]):
+                    return None
+                continue
+            if cond.is_constant:
+                assignment[attr] = cond.value
+            elif cond.is_negation:
+                assignment[attr] = _fresh(attr)
+            else:
+                assignment[attr] = _fresh(attr)
+    return assignment
+
+
+@lint_pass(
+    "W202", "non-confluent-pair", MASTER,
+    "Two rules fixing the same attribute diverge on a concrete witness "
+    "input (bounded chase counterexample search).",
+)
+def check_non_confluent_pairs(ctx: LintContext) -> List[Diagnostic]:
+    """For each rule pair sharing a target ``B``, construct inputs both
+    rules apply to (from actual master tuples) and run the exhaustive
+    chase of :mod:`repro.analysis.chase` on the pair alone.  Two distinct
+    fixpoints mean the final value of ``B`` depends on application order —
+    exactly the non-confluence the Sect. 4 consistency analysis exists to
+    rule out.  Region tableaux can exclude such inputs in deployment, so
+    this is a warning, not an error."""
+    store = ctx.store
+    if store is None or not 0 < len(store) <= ctx.max_master_rows:
+        return []
+    rules = list(ctx.rules)
+    budget = ctx.max_witness_pairs
+    out = []
+    for j in range(len(rules)):
+        for i in range(j):
+            if budget <= 0:
+                return out
+            first, second = rules[i], rules[j]
+            if first.rhs != second.rhs or first == second:
+                continue
+            if not (_rule_is_typed(ctx, first)
+                    and _rule_is_typed(ctx, second)):
+                continue
+            diagnostic = _confluence_witness(ctx, i, j, first, second)
+            budget -= 1
+            if diagnostic is not None:
+                out.append(diagnostic)
+    return out
+
+
+def _candidate_masters(ctx: LintContext, rule: EditingRule) -> list:
+    conditions = _master_conditions(rule)
+    found = []
+    for tm in ctx.store:
+        if _eligible(tm, conditions):
+            found.append(tm)
+            if len(found) >= ctx.max_witness_masters:
+                break
+    return found
+
+
+def _confluence_witness(
+    ctx: LintContext, i: int, j: int,
+    first: EditingRule, second: EditingRule,
+) -> Optional[Diagnostic]:
+    for tm_a in _candidate_masters(ctx, first):
+        for tm_b in _candidate_masters(ctx, second):
+            if tm_a[first.rhs_m] == tm_b[second.rhs_m]:
+                continue  # same value either way: confluent by construction
+            assignment = _joint_input(first, second, tm_a, tm_b)
+            if assignment is None:
+                continue
+            z0 = frozenset(assignment)
+            try:
+                result = explore_fixes(
+                    assignment, z0, [first, second], ctx.store,
+                    max_states=ctx.max_chase_states,
+                )
+            except ChaseExplosion:
+                continue
+            if result.unique:
+                continue
+            values = sorted(
+                repr(dict(sig).get(first.rhs)) for sig in result.fixpoints
+            )
+            shown = {
+                a: v for a, v in sorted(assignment.items())
+                if not (isinstance(v, str) and v.startswith("\x00fresh:"))
+            }
+            return Diagnostic(
+                code="W202",
+                severity=Severity.WARNING,
+                rule=second.name,
+                rule_index=j,
+                message=(
+                    f"non-confluent with rule {first.name!r} (#{i}): on "
+                    f"witness input {shown} the final {first.rhs!r} "
+                    f"depends on application order "
+                    f"({len(result.fixpoints)} distinct fixpoints, "
+                    f"values {values})"
+                ),
+                remedy=(
+                    "make the patterns mutually exclusive, align the "
+                    "master data, or exclude such inputs via the region "
+                    "tableau"
+                ),
+                data={
+                    "other_rule": first.name,
+                    "other_index": i,
+                    "attr": first.rhs,
+                    "witness": {a: repr(v) for a, v in shown.items()},
+                    "values": values,
+                },
+            )
+    return None

@@ -1,0 +1,216 @@
+"""Running lint passes: entry points, preflight gates, and the cache.
+
+:func:`run_lint` is the full analyzer (structural + master-aware);
+:func:`structural_report` is the cheap subset every preflight uses; and
+:func:`preflight` is the shared gate the batch engine and the CLI call —
+it raises :class:`~repro.lint.diagnostics.LintError` (``"error"``), prints
+to a stream (``"warn"``), or does nothing (``"off"``).
+
+Master-aware results are cached per store, keyed on ``(rule fingerprint,
+store version, analysis budgets)`` — the same version-stamp discipline as
+every other derived cache in the repo (regions, the Suggest⁺ BDD, probe
+memos): a master mutation moves ``store.version`` and the stale entry
+simply never matches again.  The cache is a ``WeakKeyDictionary`` on the
+store, so it dies with the store and never pins one alive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import weakref
+from typing import Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from repro.engine.schema import RelationSchema
+from repro.engine.store import MasterStore, as_master_store
+from repro.io import rules_to_dicts
+from repro.lint.diagnostics import Diagnostic, LintError, LintReport
+from repro.lint.registry import (
+    MASTER,
+    STRUCTURAL,
+    LintContext,
+    LintPass,
+    registered_passes,
+)
+
+#: Per-store cache of master-aware findings:
+#: ``store -> {(fingerprint, version, budgets): tuple[Diagnostic, ...]}``.
+_MASTER_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def rules_fingerprint(rules: Iterable) -> str:
+    """A stable content hash of a rule set (names included: diagnostics
+    mention rule names, so renaming must invalidate cached findings)."""
+    canonical = json.dumps(
+        rules_to_dicts(rules), sort_keys=True, default=repr
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _budget_key(ctx: LintContext) -> Tuple[int, int, int, int]:
+    return (
+        ctx.max_master_rows,
+        ctx.max_witness_masters,
+        ctx.max_witness_pairs,
+        ctx.max_chase_states,
+    )
+
+
+def _run_family(
+    passes: Sequence[LintPass], ctx: LintContext
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for lint in passes:
+        out.extend(lint.run(ctx))
+    return out
+
+
+def _master_diagnostics(
+    passes: Sequence[LintPass], ctx: LintContext
+) -> List[Diagnostic]:
+    """Master-aware findings, cached on ``(fingerprint, version, budgets)``.
+
+    The pass selection participates in the key too: a run restricted to
+    one code must not poison the cache for a later full run.
+    """
+    store = ctx.store
+    key = (
+        rules_fingerprint(ctx.rules),
+        store.version,
+        _budget_key(ctx),
+        tuple(p.code for p in passes),
+    )
+    try:
+        per_store = _MASTER_CACHE.setdefault(store, {})
+    except TypeError:  # store not weakref-able: just run uncached
+        return _run_family(passes, ctx)
+    cached = per_store.get(key)
+    if cached is None:
+        cached = tuple(_run_family(passes, ctx))
+        per_store[key] = cached
+    return list(cached)
+
+
+def run_lint(
+    rules: Sequence,
+    schema: RelationSchema,
+    master=None,
+    master_schema: Optional[RelationSchema] = None,
+    codes: Optional[Sequence[str]] = None,
+    **budgets,
+) -> LintReport:
+    """Run lint passes over ``(rules, schema, master)`` → :class:`LintReport`.
+
+    *master* may be a :class:`MasterStore`, a ``Relation``, or ``None``
+    (structural passes only).  *master_schema* defaults to the store's
+    schema when a master is given, else to *schema* (the paper's
+    same-schema setting).  *codes* restricts the run to specific
+    diagnostic codes; *budgets* override :class:`LintContext` analysis
+    budgets (``max_master_rows``, ``max_witness_pairs``, ...).
+    """
+    store: Optional[MasterStore] = None
+    if master is not None:
+        store = as_master_store(master)
+    if master_schema is None:
+        master_schema = store.schema if store is not None else schema
+    ctx = LintContext(
+        rules=tuple(rules),
+        schema=schema,
+        master_schema=master_schema,
+        store=store,
+        **budgets,
+    )
+    # NB: `if store` would be wrong here — an *empty* store has len() == 0
+    # and is falsy, but empty master data is exactly what W201 must flag.
+    if codes is None:
+        structural = registered_passes(STRUCTURAL)
+        master_passes = (
+            registered_passes(MASTER) if store is not None else ()
+        )
+    else:
+        from repro.lint.registry import passes_for_codes
+
+        selected = passes_for_codes(codes)
+        structural = tuple(p for p in selected if p.family == STRUCTURAL)
+        master_passes = tuple(
+            p for p in selected
+            if p.family == MASTER and store is not None
+        )
+    diagnostics = _run_family(structural, ctx)
+    if master_passes:
+        diagnostics.extend(_master_diagnostics(master_passes, ctx))
+    return LintReport(
+        diagnostics=diagnostics,
+        rules_linted=len(ctx.rules),
+        passes_run=tuple(
+            p.code for p in (*structural, *master_passes)
+        ),
+        master_version=store.version if store is not None else None,
+    )
+
+
+def structural_report(
+    rules: Sequence,
+    schema: RelationSchema,
+    master_schema: Optional[RelationSchema] = None,
+) -> LintReport:
+    """The structural-only subset — the cheap preflight every expensive
+    precompute path runs first."""
+    ctx = LintContext(
+        rules=tuple(rules),
+        schema=schema,
+        master_schema=master_schema if master_schema is not None else schema,
+    )
+    structural = registered_passes(STRUCTURAL)
+    return LintReport(
+        diagnostics=_run_family(structural, ctx),
+        rules_linted=len(ctx.rules),
+        passes_run=tuple(p.code for p in structural),
+    )
+
+
+#: Accepted preflight modes (the BatchRepairEngine / CLI knob).
+PREFLIGHT_MODES = ("error", "warn", "off")
+
+
+def preflight(
+    rules: Sequence,
+    schema: RelationSchema,
+    master_schema: Optional[RelationSchema] = None,
+    mode: str = "error",
+    context: str = "rule program",
+    stream: Optional[TextIO] = None,
+) -> Optional[LintReport]:
+    """Gate a rule program on its structural lint findings.
+
+    ``mode="error"`` raises :class:`LintError` when error-level findings
+    exist (warnings pass silently); ``mode="warn"`` never raises but
+    prints every finding to *stream* (default ``sys.stderr``);
+    ``mode="off"`` skips linting entirely and returns ``None``.
+    """
+    if mode not in PREFLIGHT_MODES:
+        raise ValueError(
+            f"preflight must be one of {list(PREFLIGHT_MODES)}, got {mode!r}"
+        )
+    if mode == "off":
+        return None
+    report = structural_report(rules, schema, master_schema)
+    if mode == "error":
+        if report.errors:
+            raise LintError(report, context=context)
+        return report
+    if report.diagnostics:
+        print(
+            f"lint preflight ({context}): {report.summary()}",
+            file=stream or sys.stderr,
+        )
+        for diagnostic in report.diagnostics:
+            print(diagnostic.describe(), file=stream or sys.stderr)
+    return report
+
+
+def sarif_rule_metadata(codes: Iterable[str]) -> List[dict]:
+    """SARIF driver rule entries for the given pass codes, in order."""
+    by_code = {p.code: p for p in registered_passes()}
+    return [by_code[c].sarif_rule() for c in codes if c in by_code]

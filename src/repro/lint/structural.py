@@ -1,0 +1,379 @@
+"""Structural lint passes: everything decidable from ``(rules, schema)``.
+
+These passes need no master data, are total on well-typed rule sets (a
+hypothesis test pins that), and run in low polynomial time — which is what
+makes them usable as a preflight in front of every expensive precompute
+(``comp_c_region``, the BDD, the batch engine).
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.closure import attribute_closure, mandatory_attrs
+from repro.analysis.dependency_graph import DependencyGraph
+from repro.core.patterns import PatternTuple, PatternValue
+from repro.engine.schema import RelationSchema
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import STRUCTURAL, LintContext, lint_pass
+
+
+def _suggest(name: str, candidates: Iterable[str]) -> str:
+    matches = difflib.get_close_matches(str(name), list(candidates), n=1)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+def _unknown(
+    rule_name: str,
+    index: int,
+    attr: str,
+    role: str,
+    schema: RelationSchema,
+) -> Diagnostic:
+    return Diagnostic(
+        code="E101",
+        severity=Severity.ERROR,
+        rule=rule_name,
+        rule_index=index,
+        message=(
+            f"{role} attribute {attr!r} is not in schema "
+            f"{schema.name!r}"
+        ),
+        remedy=(
+            f"rename the attribute or extend the schema"
+            f"{_suggest(attr, schema.attributes)}"
+        ),
+        data={"attr": attr, "role": role, "schema": schema.name},
+    )
+
+
+@lint_pass(
+    "E101", "unknown-attribute", STRUCTURAL,
+    "A rule references an attribute absent from the input or master schema.",
+)
+def check_unknown_attributes(ctx: LintContext) -> List[Diagnostic]:
+    """Every attribute a rule names must exist in the relevant schema.
+
+    This is the pass that turns the historical ``analyze`` crash (a bare
+    ``KeyError`` from deep inside ``comp_c_region``) into a diagnostic.
+    """
+    out: List[Diagnostic] = []
+    for index, rule in enumerate(ctx.rules):
+        for attr in rule.lhs:
+            if attr not in ctx.schema:
+                out.append(_unknown(rule.name, index, attr, "match-key (X)",
+                                    ctx.schema))
+        for attr in rule.pattern.attrs:
+            if attr not in ctx.schema:
+                out.append(_unknown(rule.name, index, attr, "pattern (Xp)",
+                                    ctx.schema))
+        if rule.rhs not in ctx.schema:
+            out.append(_unknown(rule.name, index, rule.rhs, "target (B)",
+                                ctx.schema))
+        for attr in rule.lhs_m:
+            if attr not in ctx.master_schema:
+                out.append(_unknown(rule.name, index, attr,
+                                    "master match-key (Xm)",
+                                    ctx.master_schema))
+        if rule.rhs_m not in ctx.master_schema:
+            out.append(_unknown(rule.name, index, rule.rhs_m,
+                                "master source (Bm)", ctx.master_schema))
+        for attr in rule.master_guard.attrs:
+            if attr not in ctx.master_schema:
+                out.append(_unknown(rule.name, index, attr, "master guard",
+                                    ctx.master_schema))
+    return out
+
+
+def _unsatisfiable_attrs(
+    pattern: PatternTuple, schema: RelationSchema
+) -> List[str]:
+    """Pattern attributes whose condition no domain value satisfies.
+
+    Attributes missing from the schema are skipped — E101 already owns
+    those, and a pass must never crash on another pass's finding.
+    """
+    bad = []
+    for attr, condition in pattern.items():
+        if attr not in schema:
+            continue
+        if not condition.satisfiable(schema.domain_of(attr)):
+            bad.append(attr)
+    return bad
+
+
+@lint_pass(
+    "E102", "unsatisfiable-pattern", STRUCTURAL,
+    "A pattern or master guard poses a condition no domain value satisfies.",
+)
+def check_unsatisfiable_patterns(ctx: LintContext) -> List[Diagnostic]:
+    """A rule whose guard is unsatisfiable can never fire — it is not
+    merely dead weight but almost always a typo (a constant outside a
+    finite domain, a negation over a single-valued domain)."""
+    out: List[Diagnostic] = []
+    for index, rule in enumerate(ctx.rules):
+        for attr in _unsatisfiable_attrs(rule.pattern, ctx.schema):
+            out.append(Diagnostic(
+                code="E102",
+                severity=Severity.ERROR,
+                rule=rule.name,
+                rule_index=index,
+                message=(
+                    f"pattern condition {rule.pattern[attr]!r} on "
+                    f"{attr!r} is unsatisfiable in domain "
+                    f"{ctx.schema.domain_of(attr).name!r}"
+                ),
+                remedy="fix the pattern constant or widen the domain",
+                data={"attr": attr, "side": "pattern"},
+            ))
+        for attr in _unsatisfiable_attrs(rule.master_guard,
+                                         ctx.master_schema):
+            out.append(Diagnostic(
+                code="E102",
+                severity=Severity.ERROR,
+                rule=rule.name,
+                rule_index=index,
+                message=(
+                    f"master guard condition {rule.master_guard[attr]!r} "
+                    f"on {attr!r} is unsatisfiable in domain "
+                    f"{ctx.master_schema.domain_of(attr).name!r}"
+                ),
+                remedy="fix the guard constant or widen the domain",
+                data={"attr": attr, "side": "master_guard"},
+            ))
+    return out
+
+
+@lint_pass(
+    "W103", "duplicate-rule", STRUCTURAL,
+    "Two rules are identical up to their name.",
+)
+def check_duplicate_rules(ctx: LintContext) -> List[Diagnostic]:
+    """Exact duplicates (``EditingRule.__eq__`` ignores names) are pure
+    dead weight: the second copy can never contribute a fix the first did
+    not already make."""
+    seen: Dict[object, Tuple[int, str]] = {}
+    out: List[Diagnostic] = []
+    for index, rule in enumerate(ctx.rules):
+        try:
+            earlier = seen.get(rule)
+        except TypeError:  # unhashable pattern constants: skip quietly
+            continue
+        if earlier is None:
+            seen[rule] = (index, rule.name)
+            continue
+        first_index, first_name = earlier
+        out.append(Diagnostic(
+            code="W103",
+            severity=Severity.WARNING,
+            rule=rule.name,
+            rule_index=index,
+            message=(
+                f"duplicate of rule {first_name!r} (#{first_index}): same "
+                f"keys, target, pattern and guard"
+            ),
+            remedy="delete one of the two copies",
+            fixit={"action": "remove_rule", "rule_index": index},
+            data={"duplicate_of": first_index},
+        ))
+    return out
+
+
+def _condition_implied(
+    weaker: PatternValue, stronger: Optional[PatternValue]
+) -> bool:
+    """Whether satisfying *stronger* guarantees satisfying *weaker*.
+
+    ``stronger is None`` means the narrower rule poses no condition on the
+    attribute, which implies nothing (except a wildcard).
+    """
+    if weaker.is_wildcard:
+        return True
+    if stronger is None or stronger.is_wildcard:
+        return False
+    if weaker == stronger:
+        return True
+    # x = a  implies  x != b  whenever a != b.
+    if weaker.is_negation and stronger.is_constant:
+        return stronger.value != weaker.value
+    return False
+
+
+def _pattern_implies(general: PatternTuple, specific: PatternTuple) -> bool:
+    """Whether every tuple matching *specific* also matches *general*."""
+    return all(
+        _condition_implied(condition, specific.get(attr))
+        for attr, condition in general.items()
+    )
+
+
+@lint_pass(
+    "W104", "subsumed-rule", STRUCTURAL,
+    "A rule's applicability is contained in a more general rule with the "
+    "same keys and target.",
+)
+def check_subsumed_rules(ctx: LintContext) -> List[Diagnostic]:
+    """Rule B is *subsumed* by rule A when both share ``(X, Xm, B, Bm)``
+    and A's pattern and master guard are implied by B's: whenever B
+    applies, A applies with the identical effect, so B is shadowed dead
+    weight (exact duplicates are W103 and skipped here)."""
+    out: List[Diagnostic] = []
+    rules = list(ctx.rules)
+    for j, narrow in enumerate(rules):
+        for i, general in enumerate(rules):
+            if i == j or general == narrow:
+                continue
+            if (general.lhs, general.lhs_m, general.rhs, general.rhs_m) != (
+                narrow.lhs, narrow.lhs_m, narrow.rhs, narrow.rhs_m
+            ):
+                continue
+            if not _pattern_implies(general.pattern, narrow.pattern):
+                continue
+            if not _pattern_implies(general.master_guard,
+                                    narrow.master_guard):
+                continue
+            out.append(Diagnostic(
+                code="W104",
+                severity=Severity.WARNING,
+                rule=narrow.name,
+                rule_index=j,
+                message=(
+                    f"subsumed by rule {general.name!r} (#{i}): whenever "
+                    f"this rule applies, {general.name!r} applies with the "
+                    f"same effect"
+                ),
+                remedy=(
+                    "delete the narrower rule, or differentiate its "
+                    "target/pattern if the overlap is unintended"
+                ),
+                fixit={"action": "remove_rule", "rule_index": j},
+                data={"subsumed_by": i},
+            ))
+            break  # one subsumer is enough evidence per rule
+    return out
+
+
+@lint_pass(
+    "W105", "dependency-cycle", STRUCTURAL,
+    "The rule dependency graph is cyclic (a witness cycle is printed).",
+)
+def check_dependency_cycle(ctx: LintContext) -> List[Diagnostic]:
+    """Cycles are legal (each attribute is fixed at most once, so the fix
+    semantics terminates) but make rule programs hard to reason about and
+    hide author mistakes; the witness names one concrete cycle."""
+    graph = DependencyGraph(list(ctx.rules))
+    cycle = graph.find_cycle()
+    if cycle is None:
+        return []
+    witness = " -> ".join(cycle + [cycle[0]])
+    return [Diagnostic(
+        code="W105",
+        severity=Severity.WARNING,
+        message=f"rule dependency graph is cyclic: {witness}",
+        remedy=(
+            "cycles are allowed but often unintended; break the cycle by "
+            "narrowing one rule's pattern or match key"
+        ),
+        data={"cycle": list(cycle)},
+    )]
+
+
+@lint_pass(
+    "W106", "self-referential-premise", STRUCTURAL,
+    "A rule's pattern constrains the very attribute the rule fixes.",
+)
+def check_self_referential(ctx: LintContext) -> List[Diagnostic]:
+    """A non-wildcard pattern condition on the rule's own target means the
+    rule only fires once the target is *already validated* — it can never
+    fix anything that is not fixed yet, which defeats its purpose."""
+    out: List[Diagnostic] = []
+    for index, rule in enumerate(ctx.rules):
+        condition = rule.pattern.get(rule.rhs)
+        if condition is None or condition.is_wildcard:
+            continue
+        out.append(Diagnostic(
+            code="W106",
+            severity=Severity.WARNING,
+            rule=rule.name,
+            rule_index=index,
+            message=(
+                f"pattern reads the rule's own target {rule.rhs!r} "
+                f"({condition!r}): the rule can only fire after its "
+                f"target is already validated"
+            ),
+            remedy=(
+                "drop the condition on the target, or retarget the rule "
+                "if the condition is the point"
+            ),
+            data={"attr": rule.rhs},
+        ))
+    return out
+
+
+@lint_pass(
+    "I107", "unfixable-attributes", STRUCTURAL,
+    "Attributes no rule can ever fix (they belong to every region Z).",
+)
+def check_unfixable_attributes(ctx: LintContext) -> List[Diagnostic]:
+    """Not a defect — the paper's regions always carry a user-validated
+    core — but worth surfacing: these attributes are pure user burden, and
+    a growing list is how rule-set rot shows up first."""
+    unfixable = sorted(mandatory_attrs(ctx.schema, ctx.rules))
+    if not unfixable:
+        return []
+    return [Diagnostic(
+        code="I107",
+        severity=Severity.INFO,
+        message=(
+            f"no rule fixes {unfixable}: these attributes must be "
+            f"user-validated in every certain region"
+        ),
+        remedy=(
+            "expected for entity keys; add rules if any of these should "
+            "be fixable from master data"
+        ),
+        data={"attrs": unfixable},
+    )]
+
+
+@lint_pass(
+    "W108", "dead-rule", STRUCTURAL,
+    "A rule can never fire from the mandatory start: its premise needs "
+    "attributes no rule chain supplies.",
+)
+def check_dead_rules(ctx: LintContext) -> List[Diagnostic]:
+    """The canonical starting point of every repair is the *mandatory*
+    attribute set (attributes no rule fixes — they must be user-validated
+    regardless).  A rule whose premise ``X ∪ Xp`` is not contained in the
+    closure of that start can only ever fire if users additionally
+    hand-validate attributes the rules were supposed to fix — it is dead
+    weight along every sensible region."""
+    start = mandatory_attrs(ctx.schema, ctx.rules)
+    reachable = attribute_closure(start, ctx.rules)
+    out: List[Diagnostic] = []
+    for index, rule in enumerate(ctx.rules):
+        missing = sorted(
+            a for a in rule.premise_attrs
+            if a not in reachable and a in ctx.schema
+        )
+        if not missing:
+            continue
+        out.append(Diagnostic(
+            code="W108",
+            severity=Severity.WARNING,
+            rule=rule.name,
+            rule_index=index,
+            message=(
+                f"dead rule: premise attributes {missing} are neither "
+                f"mandatory nor reachable through any rule chain, so the "
+                f"rule never fires from the mandatory start "
+                f"{sorted(start)}"
+            ),
+            remedy=(
+                f"add rules that fix {missing}, or match on attributes "
+                f"the program can actually validate"
+            ),
+            data={"missing": missing, "start": sorted(start)},
+        ))
+    return out

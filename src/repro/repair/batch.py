@@ -67,7 +67,7 @@ from typing import Callable, Iterable, Sequence
 from repro.engine.csvio import stream_rows_from_csv
 from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
-from repro.engine.store import StoreError
+from repro.engine.store import StoreError, as_master_store
 from repro.engine.tuples import Row
 from repro.repair.certainfix import CertainFix, IncompleteFix
 from repro.repair.oracle import SimulatedUser
@@ -524,6 +524,12 @@ class BatchRepairEngine:
     on_incomplete:
         ``"keep"`` returns truncated sessions (``completed=False``) in
         place; ``"raise"`` surfaces the first one as :class:`IncompleteFix`.
+    preflight:
+        Structural lint gate in front of every precompute (regions, the
+        BDD): ``"error"`` (default) raises
+        :class:`~repro.lint.diagnostics.LintError` when the rule program
+        has error-level findings, ``"warn"`` prints findings to stderr and
+        continues, ``"off"`` skips linting entirely.
     engine_options:
         Forwarded to the underlying :class:`CertainFix` (``max_rounds``,
         ``max_revisions``, ``validate_uniqueness``, ...).
@@ -546,6 +552,7 @@ class BatchRepairEngine:
         concurrency: int = 1,
         mp_start_method: str = None,
         on_incomplete: str = "keep",
+        preflight: str = "error",
         **engine_options,
     ):
         if chunk_size < 1:
@@ -561,6 +568,16 @@ class BatchRepairEngine:
                 f"on_incomplete must be 'keep' or 'raise', "
                 f"got {on_incomplete!r}"
             )
+        # Lint BEFORE any precompute: a rule program with error-level
+        # findings would crash (or silently corrupt) the region/BDD build
+        # below; surface the diagnostics while they are still cheap.
+        from repro.lint import preflight as lint_preflight
+
+        lint_preflight(
+            rules, schema,
+            master_schema=as_master_store(master).schema,
+            mode=preflight, context="BatchRepairEngine rule program",
+        )
         self.chunk_size = chunk_size
         self.executor = executor
         self.concurrency = concurrency

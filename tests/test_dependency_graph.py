@@ -40,6 +40,27 @@ def test_cycles_allowed_and_detected():
     assert not acyclic.has_cycle
 
 
+def test_find_cycle_returns_witness_names():
+    rules = [
+        _rule("a", "b", name="ab"),
+        _rule("b", "c", name="bc"),
+        _rule("c", "a", name="ca"),
+        _rule("d", "e", name="de"),  # off-cycle noise
+    ]
+    cycle = DependencyGraph(rules).find_cycle()
+    assert cycle is not None
+    assert set(cycle) == {"ab", "bc", "ca"}
+    # Consecutive entries are real edges (closing edge included).
+    names = {rule.name: rule for rule in rules}
+    for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+        assert names[u].rhs in names[v].premise_attrs
+
+
+def test_find_cycle_none_when_acyclic():
+    g = DependencyGraph([_rule("a", "b"), _rule("b", "c")])
+    assert g.find_cycle() is None
+
+
 def test_stratification_topological():
     rules = [_rule("b", "c", name="2"), _rule("a", "b", name="1")]
     g = DependencyGraph(rules)
