@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test conformance smoke bench bench-store example lint lint-rules
+.PHONY: test conformance smoke metrics-smoke bench bench-store example lint lint-rules
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -49,6 +49,14 @@ conformance:
 # the full bench runs 4 workers against the default 2x floor.)
 smoke:
 	$(PYTHON) benchmarks/bench_batch_throughput.py --quick --concurrency 2 --min-process-speedup 1.2
+
+# End-to-end telemetry gate: a live MasterServer (sqlite backing) serves
+# GET /metrics while the real CLI batch-repair path runs against it over
+# the remote backend with --progress; the exposition is scraped mid-batch
+# and validated with the strict Prometheus parser, and the `repro
+# metrics` subcommand is exercised in both formats.
+metrics-smoke:
+	$(PYTHON) benchmarks/metrics_smoke.py
 
 # Full-scale throughput trajectory (the committed BENCH_batch.json).
 bench:

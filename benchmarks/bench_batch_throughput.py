@@ -8,6 +8,11 @@ contender is :class:`repro.repair.batch.BatchRepairEngine` with all shared
 caches enabled (precomputed regions, master indexes, the Suggest⁺ BDD and
 validated-pattern memoization), sequentially and with a thread fan-out.
 
+An ``obs_overhead`` series re-runs the sequential hosp batch with
+``repro.obs`` telemetry enabled and gates the cost (default: within 5%
+of the plain sequential throughput) — the observability layer must stay
+effectively free on the hot path.
+
 A second series pins the executor decision rule on a **CPU-bound oracle
 workload** (:class:`repro.repair.oracle.CpuBoundOracle`: feedback that
 computes its answers): the thread fan-out stays GIL-flat there, while the
@@ -32,6 +37,7 @@ import platform
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.experiments.config import ExperimentConfig, load_workload
 from repro.repair.batch import BatchRepairEngine
 from repro.repair.certainfix import CertainFix
@@ -119,6 +125,49 @@ def _time_cpu_bound(bundle, data, regions, executor, workers, cost):
         "throughput_tps": round(result.report.tuples / elapsed, 2),
     }
     return stats, result.final_rows
+
+
+def _measure_obs_overhead(bundle, data, regions, repeats: int = 3) -> dict:
+    """Sequential batch throughput with telemetry off vs on (same workload).
+
+    Instrumentation must be effectively free: the gate keeps the
+    ``repro.obs``-enabled run within a few percent of the plain one.
+    Plain/instrumented repeats are interleaved and compared best-of-N,
+    so a sustained machine-wide slowdown (CPU contention, throttling)
+    degrades both series instead of masquerading as telemetry cost, and
+    the enabled side is cross-checked against its own session counters
+    so a silently-disabled registry can't fake a pass.
+    """
+    best = {"plain": 0.0, "instrumented": 0.0}
+    recorded = 0
+    for _ in range(repeats):
+        out = _time_batch(bundle, data, regions, concurrency=1)
+        best["plain"] = max(best["plain"], out["throughput_tps"])
+        obs.enable()
+        try:
+            out = _time_batch(bundle, data, regions, concurrency=1)
+            recorded = sum(
+                value
+                for (name, _), value in obs.snapshot().counters.items()
+                if name == "repro_sessions_total"
+            )
+        finally:
+            obs.disable()
+        best["instrumented"] = max(
+            best["instrumented"], out["throughput_tps"]
+        )
+    if recorded < len(data):
+        raise AssertionError(
+            "instrumented series recorded fewer sessions than tuples — "
+            "telemetry was not actually enabled during the measurement"
+        )
+    overhead_pct = 100.0 * (1.0 - best["instrumented"] / best["plain"])
+    return {
+        "plain_tps": best["plain"],
+        "instrumented_tps": best["instrumented"],
+        "overhead_pct": round(overhead_pct, 2),
+        "repeats": repeats,
+    }
 
 
 def _run_cpu_bound_series(quick: bool, workers: int) -> dict:
@@ -214,6 +263,13 @@ def run(quick: bool, concurrency: int, output: Path) -> dict:
             f"speedup_concurrency_{concurrency}": round(t_speedup, 2),
         }
 
+        if dataset == "hosp":
+            overhead = _measure_obs_overhead(bundle, data, regions)
+            print(f"  obs enabled      : "
+                  f"{overhead['instrumented_tps']:8.1f} tuples/s  "
+                  f"({overhead['overhead_pct']:+.1f}% vs plain sequential)")
+            results[dataset]["obs_overhead"] = overhead
+
     payload = {
         "benchmark": "batch_repair_throughput",
         "mode": "quick" if quick else "full",
@@ -243,6 +299,10 @@ def main(argv=None) -> int:
                              "factor over sequential on the CPU-bound "
                              "oracle workload (enforced only with >= 2 "
                              "usable cores)")
+    parser.add_argument("--max-obs-overhead-pct", type=float, default=5.0,
+                        help="fail if enabling repro.obs telemetry costs "
+                             "more than this percent of sequential batch "
+                             "throughput on hosp")
     args = parser.parse_args(argv)
 
     payload = run(args.quick, args.concurrency, args.output)
@@ -255,6 +315,14 @@ def main(argv=None) -> int:
         return 1
     print(f"OK: worst sequential speedup {worst:.2f}x "
           f">= {args.min_speedup:.2f}x")
+
+    overhead = payload["results"]["hosp"]["obs_overhead"]["overhead_pct"]
+    if overhead > args.max_obs_overhead_pct:
+        print(f"FAIL: telemetry overhead {overhead:.1f}% "
+              f"> allowed {args.max_obs_overhead_pct:.1f}%")
+        return 1
+    print(f"OK: telemetry overhead {overhead:.1f}% "
+          f"<= {args.max_obs_overhead_pct:.1f}%")
 
     cpu = payload["cpu_bound_oracle"]
     workers = args.concurrency

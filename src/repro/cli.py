@@ -15,10 +15,14 @@ Six commands wrap the library for file-based use:
 * ``batch-repair`` — stream a dirty CSV through the batch repair engine
   (shared caches, chunked execution, optional concurrency) and write the
   repaired rows plus a throughput report; ``--preflight`` controls the
-  engine's structural lint gate;
+  engine's structural lint gate; ``--progress`` prints live heartbeat
+  lines (tuples/s, ETA, cache hit rates, per-worker throughput) to stderr;
 * ``serve-master`` — expose a master CSV (memory- or sqlite-backed) as an
   HTTP master server that remote ``batch-repair --master-backend remote``
-  clients consult through a read-through cache;
+  clients consult through a read-through cache; serves Prometheus
+  telemetry on ``GET /metrics``;
+* ``metrics``      — scrape a running ``serve-master``'s ``/metrics`` and
+  print it (Prometheus text or JSON);
 * ``demo``         — run the paper's running example end to end.
 """
 
@@ -211,11 +215,35 @@ def _load_master_store(args):
     return relation_from_csv(args.master)
 
 
+def _count_csv_data_rows(path) -> int:
+    """Non-blank line count minus the header — the --progress ETA total.
+
+    An approximation (a quoted field containing a newline would overcount),
+    which is fine for a heartbeat denominator; returns ``None`` on any
+    read failure so progress degrades to the unknown-total display and the
+    real error surfaces from the actual CSV parse.
+    """
+    try:
+        with open(path, "rb") as handle:
+            total = sum(1 for line in handle if line.strip())
+    except OSError:
+        return None
+    return max(total - 1, 0)
+
+
 def _cmd_batch_repair(args) -> int:
     from repro.engine.store import StoreError, as_master_store
+    from repro.obs import ProgressReporter
     from repro.repair.batch import BatchRepairEngine
     from repro.repair.certainfix import IncompleteFix, ValidationFailed
 
+    progress = None
+    if args.progress:
+        progress = ProgressReporter(
+            label="batch-repair",
+            total=_count_csv_data_rows(args.input),
+            interval=args.progress_interval,
+        )
     try:
         master = as_master_store(_load_master_store(args))
         with open(args.rules, encoding="utf-8") as handle:
@@ -236,7 +264,9 @@ def _cmd_batch_repair(args) -> int:
             max_rounds=args.max_rounds,
         )
         with engine:
-            result = engine.run_csv(args.input, clean_path=args.clean)
+            result = engine.run_csv(
+                args.input, clean_path=args.clean, progress=progress
+            )
     except IncompleteFix as exc:
         print(f"error: {exc}", file=sys.stderr)
         print("hint: raise --max-rounds, or use --on-incomplete keep to "
@@ -283,6 +313,8 @@ def _cmd_serve_master(args) -> int:
     server = MasterServer(store, host=args.host, port=args.port)
     print(f"serving {store!r}")
     print(f"  url: {server.url}")
+    print(f"  metrics: {server.url}/metrics (Prometheus text; "
+          f"?format=json for JSON)")
     print(f"  point clients at it with: batch-repair --master-backend "
           f"remote --master-url {server.url}")
     try:
@@ -291,6 +323,29 @@ def _cmd_serve_master(args) -> int:
         print("\nshutting down")
     finally:
         server.close()
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Scrape a running ``serve-master``'s ``/metrics`` endpoint."""
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = args.master_url.rstrip("/") + "/metrics"
+    if args.format == "json":
+        url += "?format=json"
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            body = response.read().decode("utf-8")
+    except (URLError, OSError, ValueError) as exc:
+        print(f"error: cannot scrape {url}: {exc}", file=sys.stderr)
+        print("hint: is `python -m repro serve-master` running there?",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(json.loads(body)["metrics"], indent=2))
+    else:
+        sys.stdout.write(body)
     return 0
 
 
@@ -456,6 +511,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the shared Suggest+ BDD cache")
     batch.add_argument("--no-memoize", action="store_true",
                        help="disable validated-pattern memoization")
+    batch.add_argument(
+        "--progress", action="store_true",
+        help="print live heartbeat lines to stderr while monitoring "
+             "(tuples/s, ETA, cache hit rates, per-worker throughput)",
+    )
+    batch.add_argument(
+        "--progress-interval", type=float, default=1.0, metavar="SECONDS",
+        help="minimum seconds between --progress heartbeats (default: 1.0)",
+    )
     batch.set_defaults(func=_cmd_batch_repair)
 
     serve = sub.add_parser(
@@ -478,6 +542,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8787,
                        help="bind port (0 = ephemeral, printed at startup)")
     serve.set_defaults(func=_cmd_serve_master)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape a running serve-master's /metrics endpoint",
+    )
+    metrics.add_argument(
+        "--master-url", required=True,
+        help="base URL of the master server (e.g. http://127.0.0.1:8787)",
+    )
+    metrics.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="'text' prints the Prometheus exposition verbatim; 'json' "
+             "pretty-prints the lossless snapshot (default: text)",
+    )
+    metrics.add_argument("--timeout", type=float, default=10.0,
+                         help="scrape timeout in seconds")
+    metrics.set_defaults(func=_cmd_metrics)
 
     demo = sub.add_parser("demo", help="run the paper's running example")
     demo.set_defaults(func=_cmd_demo)

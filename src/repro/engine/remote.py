@@ -60,6 +60,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterable, Iterator
 from urllib.parse import parse_qs, urlsplit
 
+from repro import obs
 from repro.engine.schema import Domain, RelationSchema
 from repro.engine.store import (
     MasterStore,
@@ -70,6 +71,7 @@ from repro.engine.store import (
     _ProbeLRU,
 )
 from repro.engine.tuples import Row
+from repro.obs import MetricsRegistry, render_prometheus, snapshot_to_dict
 
 #: Every response carries the store version here, so any exchange doubles
 #: as a version poll (the read-through invalidation signal).
@@ -135,6 +137,11 @@ class _MasterHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, handler, store: MasterStore):
         super().__init__(address, handler)
         self.store = store
+        # The server's own always-on registry (never the process-global
+        # one): ``GET /metrics`` must work without any client-side
+        # ``obs.enable()``, and the per-request cost is noise next to the
+        # HTTP exchange it measures.
+        self.metrics = MetricsRegistry()
         # One lock around every store access: the wrapped backends are not
         # all thread-safe (InMemoryStore's Relation is not), and the
         # threading server handles each client connection on its own
@@ -202,9 +209,21 @@ class _MasterRequestHandler(BaseHTTPRequestHandler):
 
     def _reply(self, payload: dict, status: int = 200,
                version: int = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._reply_raw(
+            json.dumps(payload).encode("utf-8"), "application/json",
+            status=status, version=version,
+        )
+
+    def _reply_raw(self, body: bytes, content_type: str,
+                   status: int = 200, version: int = None) -> None:
+        # Every response funnels through here, so the per-endpoint status
+        # counter covers errors and 404s as well as the happy path.
+        self.server.metrics.inc(
+            "repro_server_requests_total",
+            endpoint=urlsplit(self.path).path, status=str(status),
+        )
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if version is None:
             version = self.server.store.version
@@ -234,11 +253,16 @@ class _MasterRequestHandler(BaseHTTPRequestHandler):
             # work and the version stamp happen atomically inside it —
             # the piggybacked version always matches the result's read
             # point, so clients never cache a stale line under a newer
-            # stamp.
+            # stamp.  The span brackets the store work, not the socket
+            # drain: it measures what the server did, not the client's
+            # network.
             payload = self._read_json() if self.command == "POST" else {}
-            with self.server.store_lock:
-                result = handler(parse_qs(parts.query), payload)
-                version = self.server.store.version
+            with self.server.metrics.time_block(
+                "repro_server_request_seconds", endpoint=parts.path
+            ):
+                with self.server.store_lock:
+                    result = handler(parse_qs(parts.query), payload)
+                    version = self.server.store.version
         except (ValueError, TypeError, KeyError) as exc:
             # Bad request shape / probe key mismatch: the client re-raises
             # these as ValueError with the server's message.
@@ -249,12 +273,51 @@ class _MasterRequestHandler(BaseHTTPRequestHandler):
     # -- GET routes ----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        parts = urlsplit(self.path)
+        if parts.path == "/metrics":
+            # Outside _dispatch: the body is Prometheus text, not JSON,
+            # and a scrape should not contaminate its own request span.
+            self._get_metrics(parse_qs(parts.query))
+            return
         self._dispatch({
             "/version": self._get_version,
             "/schema": self._get_schema,
             "/len": self._get_len,
             "/rows": self._get_rows,
         })
+
+    def _get_metrics(self, query: dict) -> None:
+        """``GET /metrics``: Prometheus text (``?format=json`` for JSON).
+
+        Store gauges (size, version, probe-cache accounting) are refreshed
+        at scrape time so the scrape always reflects the live store, not
+        the last mutation.
+        """
+        registry = self.server.metrics
+        store = self.server.store
+        with self.server.store_lock:
+            registry.set_gauge("repro_server_store_rows", len(store))
+            registry.set_gauge("repro_server_store_version", store.version)
+            cache_info = getattr(store, "probe_cache_info", None)
+            if cache_info is not None:
+                info = cache_info()
+                registry.set_gauge(
+                    "repro_server_probe_cache_hits", info["hits"]
+                )
+                registry.set_gauge(
+                    "repro_server_probe_cache_misses", info["misses"]
+                )
+                registry.set_gauge(
+                    "repro_server_probe_cache_size", info["size"]
+                )
+        snapshot = registry.snapshot()
+        if query.get("format", ["text"])[0] == "json":
+            self._reply({"metrics": snapshot_to_dict(snapshot)})
+            return
+        self._reply_raw(
+            render_prometheus(snapshot).encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
 
     def _get_version(self, query, payload) -> dict:
         return {"version": self.server.store.version}
@@ -360,6 +423,11 @@ class MasterServer:
     @property
     def store(self) -> MasterStore:
         return self._http.store
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The server's always-on registry (what ``GET /metrics`` renders)."""
+        return self._http.metrics
 
     @property
     def address(self) -> tuple:
@@ -523,6 +591,7 @@ class RemoteStore(MasterStore):
                 pass
             self._conn = None
             self._reconnects += 1
+            obs.inc("repro_remote_reconnects_total")
 
     def _unavailable(self, exc: Exception) -> StoreUnavailableError:
         return StoreUnavailableError(
@@ -539,6 +608,23 @@ class RemoteStore(MasterStore):
         before the request could have been processed — always for
         idempotent reads, only on connect/send errors for mutations.
         """
+        endpoint = path.split("?", 1)[0]
+        with obs.time_block("repro_remote_request_seconds",
+                            endpoint=endpoint):
+            try:
+                result = self._request_impl(method, path, payload, idempotent)
+            except Exception:
+                # Transport failures AND server-rejected requests: any
+                # exchange that produced no usable result counts as error.
+                obs.inc("repro_remote_requests_total",
+                        endpoint=endpoint, status="error")
+                raise
+        obs.inc("repro_remote_requests_total",
+                endpoint=endpoint, status="ok")
+        return result
+
+    def _request_impl(self, method: str, path: str, payload: dict,
+                      idempotent: bool) -> tuple:
         if self._closed:
             raise StoreDetachedError(
                 f"this RemoteStore ({self._url}) has been closed; build a "
@@ -676,6 +762,14 @@ class RemoteStore(MasterStore):
         return key
 
     def probe(self, attrs: Iterable, key) -> tuple:
+        # Cache hits and round-trips share one span: the latency
+        # distribution is supposed to show the hit/miss mix.
+        with obs.time_block(
+            "repro_store_probe_seconds", backend="remote", op="probe"
+        ):
+            return self._probe_impl(attrs, key)
+
+    def _probe_impl(self, attrs: Iterable, key) -> tuple:
         attrs = tuple(attrs)
         key = self._check_key(attrs, key)
         cache_key = (attrs, key)
@@ -712,6 +806,12 @@ class RemoteStore(MasterStore):
         the batch engine's chunk warm-up is exactly this); the round-trip
         count drops from one per key to one per call.
         """
+        with obs.time_block(
+            "repro_store_probe_seconds", backend="remote", op="many"
+        ):
+            return self._probe_many_impl(attrs, keys)
+
+    def _probe_many_impl(self, attrs: Iterable, keys: Iterable) -> dict:
         attrs = tuple(attrs)
         out: dict = {}
         pending: list = []  # (key, encoded) cache misses

@@ -49,6 +49,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro import obs
 from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
 from repro.engine.tuples import Row
@@ -316,8 +317,13 @@ class InMemoryStore(MasterStore):
     def probe(self, attrs: Iterable, key) -> tuple:
         # The relation's lookup aliases the live index bucket (it shrinks
         # under deletes and grows under inserts); the public probe hands
-        # out an immutable snapshot instead.
-        return tuple(self.probe_ref(attrs, key))
+        # out an immutable snapshot instead.  Only this copying entry point
+        # carries the probe span: the chase/TransFix hot loops go through
+        # probe_ref, which must stay bare.
+        with obs.time_block(
+            "repro_store_probe_seconds", backend="memory", op="probe"
+        ):
+            return tuple(self.probe_ref(attrs, key))
 
     def probe_ref(self, attrs: Iterable, key):
         attrs = tuple(attrs)
@@ -621,6 +627,14 @@ class SqliteStore(MasterStore):
             self._indexed.add(name)
 
     def probe(self, attrs: Iterable, key) -> tuple:
+        # The span covers cache hits and misses alike: the hit/miss mix is
+        # exactly what the latency distribution is supposed to show.
+        with obs.time_block(
+            "repro_store_probe_seconds", backend="sqlite", op="probe"
+        ):
+            return self._probe_impl(attrs, key)
+
+    def _probe_impl(self, attrs: Iterable, key) -> tuple:
         self._guard()
         attrs = tuple(attrs)
         key = tuple(key)
@@ -672,6 +686,12 @@ class SqliteStore(MasterStore):
         ``WHERE (c1, ..., ck) IN (VALUES ...)`` over blocks of keys instead
         of one SELECT per key.
         """
+        with obs.time_block(
+            "repro_store_probe_seconds", backend="sqlite", op="many"
+        ):
+            return self._probe_many_impl(attrs, keys)
+
+    def _probe_many_impl(self, attrs: Iterable, keys: Iterable) -> dict:
         self._guard()
         attrs = tuple(attrs)
         out: dict = {}

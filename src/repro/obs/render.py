@@ -1,0 +1,277 @@
+"""Exposition: render a :class:`MetricsSnapshot` as Prometheus text or JSON.
+
+Two formats, one source of truth:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): one ``# TYPE`` header per metric name, label values
+  escaped per the spec, histograms rendered as *summaries* (``quantile``
+  series from the reservoir plus ``_sum`` / ``_count``).  This is what
+  ``GET /metrics`` on ``serve-master`` returns and what the CI job
+  scrapes.
+* :func:`snapshot_to_json` / :func:`snapshot_from_json` — a lossless JSON
+  round-trip of the snapshot (reservoirs included), used by
+  ``GET /metrics?format=json``, ``repro metrics --format json`` and the
+  benchmarks.
+
+:func:`parse_prometheus_text` is the strict validator the tests and the
+``make metrics-smoke`` gate use: it rejects duplicate ``# TYPE`` headers,
+duplicate series, and malformed lines, and un-escapes label values so
+escaping bugs round-trip into assertion failures instead of silently
+corrupting dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.registry import HistogramSnapshot, MetricsSnapshot
+
+#: Quantiles exported for every histogram (the p50/p95/p99 trio).
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        if nxt == "n":
+            out.append("\n")
+        elif nxt in ("\\", '"'):
+            out.append(nxt)
+        else:  # lenient: unknown escape passes through
+            out.append(ch)
+            out.append(nxt)
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit anyway
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _render_labels(labels: tuple, extra: tuple = ()) -> str:
+    items = tuple(labels) + tuple(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in items
+    )
+    return "{" + body + "}"
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid Prometheus metric name {name!r}")
+    return name
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """The Prometheus text exposition (0.0.4) of *snapshot*.
+
+    Series are grouped under exactly one ``# TYPE`` header per metric
+    name and emitted in sorted order, so the output is deterministic and
+    never contains duplicate headers or series.
+    """
+    lines = []
+
+    by_name: dict = {}
+    for (name, labels), value in sorted(snapshot.counters.items()):
+        by_name.setdefault(_check_name(name), []).append((labels, value))
+    for name, series in by_name.items():
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in series:
+            lines.append(
+                f"{name}{_render_labels(labels)} {_format_value(value)}"
+            )
+
+    by_name = {}
+    for (name, labels), value in sorted(snapshot.gauges.items()):
+        by_name.setdefault(_check_name(name), []).append((labels, value))
+    for name, series in by_name.items():
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in series:
+            lines.append(
+                f"{name}{_render_labels(labels)} {_format_value(value)}"
+            )
+
+    by_name = {}
+    for (name, labels), hist in sorted(snapshot.histograms.items()):
+        by_name.setdefault(_check_name(name), []).append((labels, hist))
+    for name, series in by_name.items():
+        lines.append(f"# TYPE {name} summary")
+        for labels, hist in series:
+            for q in SUMMARY_QUANTILES:
+                rendered = _render_labels(labels, (("quantile", str(q)),))
+                lines.append(
+                    f"{name}{rendered} {_format_value(hist.quantile(q))}"
+                )
+            lines.append(
+                f"{name}_sum{_render_labels(labels)} "
+                f"{_format_value(hist.total)}"
+            )
+            lines.append(
+                f"{name}_count{_render_labels(labels)} {hist.count}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+_SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Strictly parse exposition *text*; the tests' and smoke gate's oracle.
+
+    Returns ``{(name, ((label, value), ...)): float}``.  Raises
+    ``ValueError`` on any malformed line, duplicate ``# TYPE`` header, or
+    duplicate series — the failure modes a real Prometheus server would
+    reject or silently misread.
+    """
+    series: dict = {}
+    types: dict = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(
+                        f"line {lineno}: malformed TYPE header {line!r}"
+                    )
+                _, _, name, kind = parts
+                if name in types:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE header for {name}"
+                    )
+                if kind not in ("counter", "gauge", "summary", "histogram",
+                                "untyped"):
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type {kind!r}"
+                    )
+                types[name] = kind
+            continue
+        match = _SERIES_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed series {line!r}")
+        labels = []
+        body = match.group("labels")
+        if body:
+            position = 0
+            while position < len(body):
+                label = _LABEL_RE.match(body, position)
+                if label is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed labels {body!r}"
+                    )
+                labels.append(
+                    (label.group("name"),
+                     _unescape_label(label.group("value")))
+                )
+                position = label.end()
+        key = (match.group("name"), tuple(labels))
+        if key in series:
+            raise ValueError(f"line {lineno}: duplicate series {key}")
+        try:
+            series[key] = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {match.group('value')!r}"
+            ) from exc
+    return series
+
+
+# -- JSON round-trip -----------------------------------------------------------
+
+
+def _key_to_json(key: tuple) -> list:
+    name, labels = key
+    return [name, [list(item) for item in labels]]
+
+
+def _key_from_json(key: list) -> tuple:
+    name, labels = key
+    return name, tuple(tuple(item) for item in labels)
+
+
+def snapshot_to_dict(snapshot: MetricsSnapshot) -> dict:
+    """JSON-serializable form of *snapshot* (lossless)."""
+    return {
+        "counters": [
+            {"series": _key_to_json(key), "value": value}
+            for key, value in sorted(snapshot.counters.items())
+        ],
+        "gauges": [
+            {"series": _key_to_json(key), "value": value}
+            for key, value in sorted(snapshot.gauges.items())
+        ],
+        "histograms": [
+            {
+                "series": _key_to_json(key),
+                "count": hist.count,
+                "sum": hist.total,
+                "min": hist.min,
+                "max": hist.max,
+                "samples": list(hist.samples),
+            }
+            for key, hist in sorted(snapshot.histograms.items())
+        ],
+    }
+
+
+def snapshot_from_dict(payload: dict) -> MetricsSnapshot:
+    """Inverse of :func:`snapshot_to_dict` (exact round-trip)."""
+    return MetricsSnapshot(
+        counters={
+            _key_from_json(entry["series"]): entry["value"]
+            for entry in payload.get("counters", ())
+        },
+        gauges={
+            _key_from_json(entry["series"]): entry["value"]
+            for entry in payload.get("gauges", ())
+        },
+        histograms={
+            _key_from_json(entry["series"]): HistogramSnapshot(
+                count=entry["count"],
+                total=entry["sum"],
+                min=entry["min"],
+                max=entry["max"],
+                samples=tuple(entry["samples"]),
+            )
+            for entry in payload.get("histograms", ())
+        },
+    )
+
+
+def snapshot_to_json(snapshot: MetricsSnapshot, indent: int = None) -> str:
+    return json.dumps(snapshot_to_dict(snapshot), indent=indent)
+
+
+def snapshot_from_json(text: str) -> MetricsSnapshot:
+    return snapshot_from_dict(json.loads(text))

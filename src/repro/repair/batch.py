@@ -64,11 +64,13 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.engine.csvio import stream_rows_from_csv
 from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema
 from repro.engine.store import StoreError, as_master_store
 from repro.engine.tuples import Row
+from repro.obs import count_fixes_by_rule, session_provenance
 from repro.repair.certainfix import CertainFix, IncompleteFix
 from repro.repair.oracle import SimulatedUser
 from repro.repair.transfix import TransFixResult
@@ -114,10 +116,12 @@ class BatchReport:
     chunk_size: int = 0
     executor: str = "thread"
     workers: int = 1
-    #: Process-pool runs only: per-worker breakdown keyed by worker label
-    #: (``pid-<n>``), each value a flat dict of chunk/tuple counts and
-    #: memo-table hit/miss counters.  Empty for thread runs (all threads
-    #: share one set of caches, so there is nothing per-worker to split).
+    #: Per-worker breakdown keyed by worker label — ``pid-<n>`` for the
+    #: process pool, ``thread-<n>`` for the thread fan-out — each value a
+    #: flat dict of chunk/tuple counts and memo-table hit/miss counters.
+    #: Threads share one set of caches, so their rows split the shared
+    #: counters by which thread performed each lookup.  Empty only for
+    #: sequential runs (``concurrency=1``).
     worker_stats: dict = field(default_factory=dict)
     regions_precomputed: int = 0
     chase_memo: MemoStats = field(default_factory=MemoStats)
@@ -126,6 +130,14 @@ class BatchReport:
     suggestion_misses: int = 0
     cache_invalidations: int = 0
     master_version: int = 0
+    #: Wall-clock seconds of the shared precomputation this run leaned on:
+    #: ``region_precompute_s`` (paid once at engine construction, amortized
+    #: across runs) and ``probe_warmup_s`` (chunk probe_many warm-up on
+    #: batched-probe backends, summed across workers).
+    timings: dict = field(default_factory=dict)
+    #: ``{rule_name: fixed-cell count}`` across the run (provenance rollup;
+    #: empty when provenance collection is off).
+    fixes_by_rule: dict = field(default_factory=dict)
     #: Messages of :class:`~repro.engine.store.StoreError` failures that
     #: aborted the run (unreachable master server, closed connection,
     #: vanished database file).  A run that raises a ``StoreError`` still
@@ -190,6 +202,11 @@ class BatchReport:
             },
             "cache_invalidations": self.cache_invalidations,
             "master_version": self.master_version,
+            "timings": {
+                name: round(value, 6)
+                for name, value in sorted(self.timings.items())
+            },
+            "fixes_by_rule": dict(sorted(self.fixes_by_rule.items())),
             "store_errors": list(self.store_errors),
         }
 
@@ -210,6 +227,22 @@ class BatchReport:
                 f"suggestion cache: {self.suggestion_hit_rate:.0%} hit "
                 f"({self.suggestion_hits}/"
                 f"{self.suggestion_hits + self.suggestion_misses})"
+            )
+        if self.timings:
+            lines.append(
+                "precompute: " + "  ".join(
+                    f"{name}: {value:.3f}s"
+                    for name, value in sorted(self.timings.items())
+                )
+            )
+        if self.fixes_by_rule:
+            top = sorted(
+                self.fixes_by_rule.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            lines.append(
+                "fixes by rule: " + "  ".join(
+                    f"{name}: {count}" for name, count in top
+                )
             )
         if self.cache_invalidations:
             lines.append(
@@ -247,6 +280,12 @@ class BatchResult:
     def final_rows(self) -> list:
         return [session.final for session in self.sessions]
 
+    @property
+    def provenance(self) -> list:
+        """Per session (stream order), ``{attr: FixProvenance}`` for every
+        rule-fixed cell — empty dicts when provenance collection was off."""
+        return [session_provenance(session) for session in self.sessions]
+
     def to_relation(self, schema: RelationSchema) -> Relation:
         """Materialize the repaired stream as a relation."""
         return Relation(schema, self.final_rows)
@@ -276,6 +315,52 @@ class _MemoCertainFix(CertainFix):
         # under the thread fan-out; the lock is uncontended (nanoseconds)
         # next to a chase or TransFix run.
         self._stats_lock = threading.Lock()
+        # Optional per-thread split of the shared memo counters, keyed by
+        # thread ident; enabled by the batch engine's thread fan-out so
+        # BatchReport.worker_stats has rows for threads like it does for
+        # process workers.  None = disabled (no per-lookup overhead).
+        self._thread_stats = None
+
+    # -- per-thread accounting (thread fan-out worker_stats) -------------------
+
+    def enable_thread_stats(self) -> None:
+        with self._stats_lock:
+            self._thread_stats = {}
+
+    def drain_thread_stats(self) -> dict:
+        """Stop per-thread accounting; returns ``{ident: stats}`` in first-
+        touch order (the batch engine relabels idents ``thread-<n>``)."""
+        with self._stats_lock:
+            sink, self._thread_stats = self._thread_stats, None
+        return sink or {}
+
+    def _bump_thread(self, key: str) -> None:
+        # Caller holds _stats_lock.
+        sink = self._thread_stats
+        if sink is None:
+            return
+        ident = threading.get_ident()
+        stats = sink.get(ident)
+        if stats is None:
+            stats = sink[ident] = {
+                "chunks": 0, "tuples": 0, "_chunk": None,
+                "chase_hits": 0, "chase_misses": 0,
+                "transfix_hits": 0, "transfix_misses": 0,
+            }
+        stats[key] += 1
+
+    def note_thread_session(self, chunk_seq: int) -> None:
+        """Count one monitored tuple (and chunk participation) for the
+        calling thread."""
+        with self._stats_lock:
+            sink = self._thread_stats
+            if sink is None:
+                return
+            self._bump_thread("tuples")
+            stats = sink[threading.get_ident()]
+            if stats["_chunk"] != chunk_seq:
+                stats["_chunk"] = chunk_seq
+                stats["chunks"] += 1
 
     def _sync_master_version(self) -> bool:
         # The guard is re-entrant: this subclass's memo tables are cleared
@@ -302,6 +387,8 @@ class _MemoCertainFix(CertainFix):
         if cached is None:
             with self._stats_lock:
                 self.chase_stats.misses += 1
+                self._bump_thread("chase_misses")
+            obs.inc("repro_chase_memo_total", result="miss")
             cached = super()._unique(row, validated)
             with self._memo_guard:
                 if self._master_version == stamp:
@@ -309,6 +396,8 @@ class _MemoCertainFix(CertainFix):
         else:
             with self._stats_lock:
                 self.chase_stats.hits += 1
+                self._bump_thread("chase_hits")
+            obs.inc("repro_chase_memo_total", result="hit")
         return cached
 
     def _transfix(self, row: Row, validated: frozenset) -> TransFixResult:
@@ -320,6 +409,8 @@ class _MemoCertainFix(CertainFix):
         if entry is None:
             with self._stats_lock:
                 self.transfix_stats.misses += 1
+                self._bump_thread("transfix_misses")
+            obs.inc("repro_transfix_memo_total", result="miss")
             result = super()._transfix(row, validated)
             fixes = tuple(
                 (rule.rhs, result.row[rule.rhs]) for rule, _ in result.applied
@@ -332,6 +423,8 @@ class _MemoCertainFix(CertainFix):
             return result
         with self._stats_lock:
             self.transfix_stats.hits += 1
+            self._bump_thread("transfix_hits")
+        obs.inc("repro_transfix_memo_total", result="hit")
         fixes, applied, lookups = entry
         fixed_row = row.with_values(dict(fixes)) if fixes else row
         return TransFixResult(
@@ -404,20 +497,23 @@ def _process_worker_init(spec: EngineSpec) -> None:
     _WORKER_ENGINE = spec.build()
 
 
-def _warm_chunk_probes(engine, pairs) -> None:
+def _warm_chunk_probes(engine, pairs) -> float:
     """Batch-probe every rule key of the chunk before monitoring starts.
 
     Only called for stores with round-trip probe cost
     (``supports_batched_probes``): one ``IN``-clause plan per rule fills
     the probe cache with exactly the keys the chase/TransFix loops are
     about to ask for, amortizing what would otherwise be one SELECT per
-    (tuple, rule).
+    (tuple, rule).  Returns the seconds spent warming (the chunk's share
+    of ``BatchReport.timings["probe_warmup_s"]``).
     """
+    started = time.perf_counter()
     store = engine.store
     for rule in engine.rules:
         keys = {row[rule.lhs] for row, _ in pairs}
         if keys:
             store.probe_many(rule.lhs_m, keys)
+    return time.perf_counter() - started
 
 
 def _process_worker_chunk(task: tuple) -> dict:
@@ -444,8 +540,9 @@ def _process_worker_chunk(task: tuple) -> dict:
         else:
             store.sync_version(version)
         engine.resync_master()
+    warm_s = 0.0
     if store.supports_batched_probes:
-        _warm_chunk_probes(engine, pairs)
+        warm_s = _warm_chunk_probes(engine, pairs)
     chase0 = engine.chase_stats.snapshot()
     transfix0 = engine.transfix_stats.snapshot()
     suggestion = engine.cache_stats
@@ -472,6 +569,7 @@ def _process_worker_chunk(task: tuple) -> dict:
             (suggestion.misses - sugg_misses0) if suggestion is not None else 0,
         ),
         "invalidations": engine.cache_invalidations - invalidations0,
+        "warm_s": warm_s,
         # Ack: lets the parent stop attaching snapshots once every worker
         # has confirmed the post-mutation stamp.
         "store_version": store.version,
@@ -588,6 +686,10 @@ class BatchRepairEngine:
         # invalidation.  With the BDD on, the cursor path serves suggestions
         # and the memo would be dead weight.
         engine_options.setdefault("memoize_suggest", memoize and not use_bdd)
+        # Provenance records are a handful of tuples per monitored tuple —
+        # cheap next to a chase — and the batch report's fixes_by_rule
+        # rollup needs them, so the batch engine collects by default.
+        engine_options.setdefault("collect_provenance", True)
         self._use_bdd = use_bdd
         self._memoize = memoize
         self._engine_options = dict(engine_options)
@@ -605,8 +707,11 @@ class BatchRepairEngine:
         self._snapshot_cache = None  # (version, rows) for in-memory resync
         # Precompute everything shareable up front so run() never pays
         # per-session setup: regions (CertainFix builds master indexes in
-        # its own constructor already).
+        # its own constructor already).  Timed: every run's report carries
+        # the construction cost it amortizes (timings["region_precompute_s"]).
+        started = time.perf_counter()
         self._engine.regions  # noqa: B018 — forces the (cached) computation
+        self._region_precompute_s = time.perf_counter() - started
 
     @property
     def engine(self) -> CertainFix:
@@ -713,19 +818,26 @@ class BatchRepairEngine:
         except StoreError:
             return self._engine._master_version
 
-    def run(self, pairs: Iterable) -> BatchResult:
+    def run(self, pairs: Iterable, progress=None) -> BatchResult:
         """Monitor a stream of ``(dirty_row, oracle)`` pairs.
 
         The stream is consumed lazily in chunks of ``chunk_size``; sessions
         come back in stream order regardless of ``executor`` or
         ``concurrency`` (process chunks carry sequence numbers and are
         merged in submission order).
+
+        *progress* is an optional :class:`repro.obs.ProgressReporter`: it is
+        advanced once per completed chunk with the running cache hit rates
+        and per-worker tuple counts, and always receives a final
+        :meth:`~repro.obs.ProgressReporter.finish` — including after a
+        mid-run store failure, so the last heartbeat reflects everything
+        that completed.
         """
         if self.executor == "process":
-            return self._run_process(pairs)
-        return self._run_threaded(pairs)
+            return self._run_process(pairs, progress)
+        return self._run_threaded(pairs, progress)
 
-    def _run_process(self, pairs: Iterable) -> BatchResult:
+    def _run_process(self, pairs: Iterable, progress=None) -> BatchResult:
         """Fan chunks out to the worker processes; merge in stream order."""
         pool = self._ensure_pool()
         engine = self._engine
@@ -733,8 +845,23 @@ class BatchRepairEngine:
         worker_stats: dict = {}
         totals = {
             "chase": [0, 0], "transfix": [0, 0], "suggestions": [0, 0],
-            "invalidations": 0,
+            "invalidations": 0, "warm_s": 0.0,
         }
+
+        def hit_rates() -> dict:
+            rates = {
+                "chase": _rate(*totals["chase"]),
+                "transfix": _rate(*totals["transfix"]),
+            }
+            if totals["suggestions"][0] or totals["suggestions"][1]:
+                rates["suggest"] = _rate(*totals["suggestions"])
+            return rates
+
+        def worker_tuples() -> dict:
+            return {
+                worker: stats["tuples"]
+                for worker, stats in worker_stats.items()
+            }
 
         def consume(future) -> None:
             result = future.result()
@@ -751,6 +878,7 @@ class BatchRepairEngine:
                 totals[name][0] += result[name][0]
                 totals[name][1] += result[name][1]
             totals["invalidations"] += result["invalidations"]
+            totals["warm_s"] += result["warm_s"]
             stats = worker_stats.setdefault(result["worker"], {
                 "chunks": 0, "tuples": 0,
                 "chase_hits": 0, "chase_misses": 0,
@@ -765,6 +893,12 @@ class BatchRepairEngine:
             stats["transfix_misses"] += result["transfix"][1]
             stats["suggestion_hits"] += result["suggestions"][0]
             stats["suggestion_misses"] += result["suggestions"][1]
+            if progress is not None:
+                progress.advance(
+                    len(chunk_sessions),
+                    rates=hit_rates(),
+                    workers=worker_tuples(),
+                )
 
         # Keep a bounded window of chunks in flight: enough to feed every
         # worker with one chunk of lookahead, without materializing an
@@ -791,6 +925,8 @@ class BatchRepairEngine:
             for future in pending:
                 future.cancel()
         elapsed = time.perf_counter() - started
+        if progress is not None:
+            progress.finish(rates=hit_rates(), workers=worker_tuples())
 
         report = BatchReport(
             tuples=len(sessions),
@@ -811,6 +947,11 @@ class BatchRepairEngine:
             suggestion_misses=totals["suggestions"][1],
             cache_invalidations=totals["invalidations"],
             master_version=self._safe_store_version(),
+            timings={
+                "region_precompute_s": self._region_precompute_s,
+                "probe_warmup_s": totals["warm_s"],
+            },
+            fixes_by_rule=count_fixes_by_rule(sessions),
             store_errors=(
                 [str(store_failure)] if store_failure is not None else []
             ),
@@ -820,7 +961,7 @@ class BatchRepairEngine:
             raise store_failure
         return BatchResult(sessions=sessions, report=report)
 
-    def _run_threaded(self, pairs: Iterable) -> BatchResult:
+    def _run_threaded(self, pairs: Iterable, progress=None) -> BatchResult:
         engine = self._engine
         chase_before = engine.chase_stats.snapshot()
         transfix_before = engine.transfix_stats.snapshot()
@@ -829,7 +970,23 @@ class BatchRepairEngine:
         bdd_hits0 = bdd_before.hits if bdd_before is not None else 0
         bdd_misses0 = bdd_before.misses if bdd_before is not None else 0
 
+        def hit_rates() -> dict:
+            rates = {
+                "chase": engine.chase_stats.delta(chase_before).hit_rate,
+                "transfix": engine.transfix_stats.delta(
+                    transfix_before
+                ).hit_rate,
+            }
+            sugg = engine.cache_stats
+            if sugg is not None:
+                hits = sugg.hits - bdd_hits0
+                misses = sugg.misses - bdd_misses0
+                if hits or misses:
+                    rates["suggest"] = _rate(hits, misses)
+            return rates
+
         sessions: list = []
+        worker_stats: dict = {}
         chunks = 0
         store_failure = None
         pool = (
@@ -837,14 +994,21 @@ class BatchRepairEngine:
             if self.concurrency > 1
             else None
         )
+        if pool is not None:
+            # Split the shared memo counters by thread, so concurrent
+            # thread runs report per-worker rows just like process runs.
+            engine.enable_thread_stats()
         started = time.perf_counter()
         try:
             for chunk in _chunked(pairs, self.chunk_size):
                 chunks += 1
                 if pool is not None:
-                    chunk_sessions = list(
-                        pool.map(lambda pair: engine.fix(*pair), chunk)
-                    )
+                    def monitored(pair, _seq=chunks):
+                        session = engine.fix(*pair)
+                        engine.note_thread_session(_seq)
+                        return session
+
+                    chunk_sessions = list(pool.map(monitored, chunk))
                 else:
                     chunk_sessions = [
                         engine.fix(row, oracle) for row, oracle in chunk
@@ -855,6 +1019,8 @@ class BatchRepairEngine:
                             session, index=len(sessions) + offset
                         )
                 sessions.extend(chunk_sessions)
+                if progress is not None:
+                    progress.advance(len(chunk_sessions), rates=hit_rates())
         except StoreError as exc:
             # Infrastructure died mid-run; report what completed and
             # re-raise with the report attached (BatchReport.store_errors).
@@ -862,7 +1028,22 @@ class BatchRepairEngine:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+                # Labels are assigned in first-lookup order, so they are
+                # stable for a given interleaving but not across runs.
+                for index, stats in enumerate(
+                    engine.drain_thread_stats().values(), start=1
+                ):
+                    stats.pop("_chunk", None)
+                    worker_stats[f"thread-{index}"] = stats
         elapsed = time.perf_counter() - started
+        if progress is not None:
+            progress.finish(
+                rates=hit_rates(),
+                workers={
+                    worker: stats["tuples"]
+                    for worker, stats in worker_stats.items()
+                } or None,
+            )
 
         bdd_after = engine.cache_stats
         report = BatchReport(
@@ -876,6 +1057,7 @@ class BatchRepairEngine:
             chunk_size=self.chunk_size,
             executor="thread",
             workers=self.concurrency,
+            worker_stats=worker_stats,
             regions_precomputed=len(engine.regions),
             chase_memo=engine.chase_stats.delta(chase_before),
             transfix_memo=engine.transfix_stats.delta(transfix_before),
@@ -889,6 +1071,11 @@ class BatchRepairEngine:
                 engine.cache_invalidations - invalidations_before
             ),
             master_version=self._safe_store_version(),
+            timings={
+                "region_precompute_s": self._region_precompute_s,
+                "probe_warmup_s": 0.0,
+            },
+            fixes_by_rule=count_fixes_by_rule(sessions),
             store_errors=(
                 [str(store_failure)] if store_failure is not None else []
             ),
@@ -898,12 +1085,13 @@ class BatchRepairEngine:
             raise store_failure
         return BatchResult(sessions=sessions, report=report)
 
-    def run_dirty(self, dirty_tuples: Iterable) -> BatchResult:
+    def run_dirty(self, dirty_tuples: Iterable, progress=None) -> BatchResult:
         """Monitor a :class:`repro.datasets.dirty.DirtyDataset` (or any
         iterable of objects with ``dirty``/``clean`` rows) against simulated
         truthful users, as the paper's experiments do."""
         return self.run(
-            (dt.dirty, SimulatedUser(dt.clean)) for dt in dirty_tuples
+            ((dt.dirty, SimulatedUser(dt.clean)) for dt in dirty_tuples),
+            progress=progress,
         )
 
     def run_csv(
@@ -911,6 +1099,7 @@ class BatchRepairEngine:
         dirty_path,
         clean_path=None,
         oracle_factory: Callable = None,
+        progress=None,
     ) -> BatchResult:
         """Stream a dirty CSV file through the engine (constant memory).
 
@@ -933,7 +1122,7 @@ class BatchRepairEngine:
             pairs = _aligned_pairs(dirty, clean, dirty_path, clean_path)
         else:
             pairs = ((d, oracle_factory(d)) for d in dirty)
-        return self.run(pairs)
+        return self.run(pairs, progress=progress)
 
 
 def _aligned_pairs(dirty, clean, dirty_path, clean_path):

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.analysis.closure import attribute_closure
 from repro.engine.schema import RelationSchema
 from repro.engine.store import as_master_store
@@ -156,9 +157,13 @@ class _Cursor:
             depth += 1
 
         cache.stats.misses += 1
-        fresh = cache._compute(row, z)
-        new_node = _Node(suggestion=fresh)
-        setter(new_node)
+        # The miss path IS the BDD build: each fresh suggestion appended
+        # here grows the diagram, so the span's sum tracks total build
+        # cost and its count tracks the node count added.
+        with obs.time_block("repro_bdd_build_seconds"):
+            fresh = cache._compute(row, z)
+            new_node = _Node(suggestion=fresh)
+            setter(new_node)
         self._position = ("node", new_node)
         return fresh
 

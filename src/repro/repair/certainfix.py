@@ -25,11 +25,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.analysis.dependency_graph import DependencyGraph
 from repro.core.fixes import chase
 from repro.engine.schema import RelationSchema
 from repro.engine.store import as_master_store
 from repro.engine.tuples import Row
+from repro.obs import FixProvenance
 from repro.repair.bdd import CacheStats, SuggestionCache
 from repro.repair.region_search import comp_c_region
 from repro.repair.suggest import Suggestion, suggest
@@ -50,6 +52,10 @@ class RoundLog:
     revisions: int = 0
     row_after: object = None
     validated_after: frozenset = frozenset()
+    #: Per-cell :class:`repro.obs.FixProvenance` records for the rule
+    #: applications of this round (empty unless the engine was built with
+    #: ``collect_provenance=True``).
+    provenance: tuple = ()
 
 
 @dataclass
@@ -173,6 +179,7 @@ class CertainFix:
         max_revisions: int = 3,
         validate_uniqueness: bool = True,
         suggest_validate_patterns: int = 48,
+        collect_provenance: bool = False,
     ):
         self.rules = list(rules)
         self.store = as_master_store(master)
@@ -206,6 +213,11 @@ class CertainFix:
         # Re-entrant: subclasses extend the teardown within the same hold.
         self._memo_guard = threading.RLock()
         self.cache_invalidations = 0
+        self.collect_provenance = collect_provenance
+        # Position of each rule object in Σ, for provenance records.  Keyed
+        # by identity: equal-but-distinct duplicates must keep their own
+        # indices, and TransFix applies exactly these objects.
+        self._rule_index = {id(rule): i for i, rule in enumerate(self.rules)}
         # Force master indexes for every rule key up front so the first
         # monitored tuple does not pay index-build latency.
         for rule in self.rules:
@@ -217,7 +229,10 @@ class CertainFix:
     @property
     def regions(self) -> list:
         if self._regions is None:
-            self._regions = comp_c_region(self.rules, self.store, self.schema)
+            with obs.time_block("repro_region_precompute_seconds"):
+                self._regions = comp_c_region(
+                    self.rules, self.store, self.schema
+                )
             if not self._regions:
                 raise ValueError(
                     "no certain region exists for (Σ, Dm); CertainFix needs "
@@ -265,6 +280,7 @@ class CertainFix:
             if self._cache is not None:
                 self._cache.invalidate()
             self.cache_invalidations += 1
+        obs.inc("repro_cache_invalidations_total")
         return True
 
     def resync_master(self) -> bool:
@@ -290,6 +306,16 @@ class CertainFix:
         finishes or computes a new suggestion.
         """
         self._sync_master_version()
+        with obs.time_block("repro_fix_seconds"):
+            session = self._fix_monitored(t, oracle)
+        obs.inc(
+            "repro_sessions_total",
+            completed="true" if session.completed else "false",
+        )
+        obs.inc("repro_rounds_total", session.round_count)
+        return session
+
+    def _fix_monitored(self, t: Row, oracle) -> FixSession:
         row = t
         validated: frozenset = frozenset()
         session = FixSession(final=row, validated=validated)
@@ -340,6 +366,11 @@ class CertainFix:
             result = self._transfix(row, validated)
             row = result.row
             validated = result.validated
+            provenance = (
+                self._round_provenance(result, round_index)
+                if self.collect_provenance
+                else ()
+            )
 
             done = set(validated) >= all_attrs
             source = suggestion.source
@@ -361,6 +392,7 @@ class CertainFix:
                     revisions=revisions,
                     row_after=row,
                     validated_after=validated,
+                    provenance=provenance,
                 )
             )
 
@@ -380,6 +412,25 @@ class CertainFix:
 
     def _transfix(self, row: Row, validated: frozenset):
         return transfix(row, validated, self.rules, self.store, self.graph)
+
+    def _round_provenance(self, result, round_index: int) -> tuple:
+        """One :class:`FixProvenance` per rule application of this round.
+
+        ``tm[rule.rhs_m]`` is exactly the value the application wrote
+        (TransFix assigns ``t[B] := tm[Bm]``), so an earlier application
+        overwritten later in the same round still reports its own value.
+        """
+        return tuple(
+            FixProvenance(
+                attr=rule.rhs,
+                value=tm[rule.rhs_m],
+                rule_name=rule.name,
+                rule_index=self._rule_index.get(id(rule), -1),
+                master_key=tm[rule.lhs_m],
+                round_index=round_index,
+            )
+            for rule, tm in result.applied
+        )
 
     def _start_cursor(self):
         return self._cache.start() if self._cache is not None else None

@@ -316,3 +316,76 @@ def test_result_to_relation(hosp, hosp_dirty):
     relation = result.to_relation(hosp.schema)
     assert len(relation) == len(hosp_dirty)
     assert relation.rows == result.final_rows
+
+
+# -- telemetry: worker stats, timings, provenance (PR 7) -----------------------
+
+
+def test_thread_worker_stats_populated_at_concurrency_4(hosp, hosp_dirty):
+    # Regression: the thread executor used to report empty worker_stats
+    # while the process executor reported per-worker rows.
+    batch = BatchRepairEngine(hosp.rules, hosp.master, hosp.schema,
+                              concurrency=4, chunk_size=5)
+    report = batch.run_dirty(hosp_dirty).report
+    assert report.executor == "thread"
+    assert report.worker_stats
+    assert all(name.startswith("thread-") for name in report.worker_stats)
+    assert 1 <= len(report.worker_stats) <= 4
+    assert sum(s["tuples"] for s in report.worker_stats.values()) \
+        == len(hosp_dirty)
+    # Every chunk had at least one participating thread; threads sharing a
+    # chunk each count it once.
+    assert sum(s["chunks"] for s in report.worker_stats.values()) \
+        >= report.chunks
+    payload = report.to_dict()
+    for stats in payload["worker_stats"].values():
+        assert 0.0 <= stats["chase_hit_rate"] <= 1.0
+        assert 0.0 <= stats["transfix_hit_rate"] <= 1.0
+        assert "_chunk" not in stats  # internal epoch marker never leaks
+
+
+def test_sequential_run_reports_no_worker_stats(hosp, hosp_dirty):
+    report = BatchRepairEngine(hosp.rules, hosp.master, hosp.schema) \
+        .run_dirty(hosp_dirty).report
+    assert report.worker_stats == {}
+
+
+def test_report_timings_in_dict_and_describe(hosp, hosp_dirty):
+    batch = BatchRepairEngine(hosp.rules, hosp.master, hosp.schema)
+    report = batch.run_dirty(hosp_dirty).report
+    assert report.timings["region_precompute_s"] > 0.0
+    assert report.timings["probe_warmup_s"] == 0.0  # threads never warm
+    payload = report.to_dict()
+    assert set(payload["timings"]) \
+        == {"region_precompute_s", "probe_warmup_s"}
+    assert "precompute" in report.describe()
+
+
+def test_provenance_attributes_every_rule_fix(hosp, hosp_dirty):
+    batch = BatchRepairEngine(hosp.rules, hosp.master, hosp.schema)
+    result = batch.run_dirty(hosp_dirty)
+    provenance = result.provenance
+    assert len(provenance) == len(result.sessions)
+    attributed = 0
+    for session, records in zip(result.sessions, provenance):
+        assert set(records) == set(session.attrs_fixed_by_rules)
+        for attr, record in records.items():
+            assert record.attr == attr
+            assert 0 <= record.rule_index < len(hosp.rules)
+            assert hosp.rules[record.rule_index].name == record.rule_name
+            # Last write wins: the surviving cell carries this value.
+            assert session.final[attr] == record.value
+            assert record.master_key  # the matched master probe key
+            assert attr in record.describe()
+            attributed += 1
+    assert attributed > 0
+    by_rule = result.report.fixes_by_rule
+    assert sum(by_rule.values()) >= attributed
+    assert by_rule == result.report.to_dict()["fixes_by_rule"]
+
+
+def test_provenance_off_by_default_in_bare_certainfix(hosp, hosp_dirty):
+    engine = CertainFix(hosp.rules, hosp.master, hosp.schema)
+    dt = hosp_dirty.tuples[0]
+    session = engine.fix(dt.dirty, SimulatedUser(dt.clean))
+    assert all(r.provenance == () for r in session.rounds)

@@ -276,3 +276,65 @@ def test_cli_analyze_reports_missing_region(tmp_path, capsys):
     out = capsys.readouterr().out
     assert code == 1
     assert "NO certain region" in out
+
+
+# -- telemetry CLI (PR 7) ------------------------------------------------------
+
+
+def test_cli_batch_repair_progress_heartbeats(tmp_path, capsys, hosp):
+    from repro.datasets import make_dirty_dataset
+
+    master_csv = tmp_path / "master.csv"
+    relation_to_csv(hosp.master, master_csv)
+    rules_json = tmp_path / "rules.json"
+    rules_json.write_text(rule_io.dumps(hosp.rules) + "\n")
+    data = make_dirty_dataset(hosp, size=12, duplicate_rate=0.4,
+                              noise_rate=0.2, seed=5)
+    dirty_csv = tmp_path / "dirty.csv"
+    clean_csv = tmp_path / "clean.csv"
+    relation_to_csv(Relation(hosp.schema, (dt.dirty for dt in data)),
+                    dirty_csv)
+    relation_to_csv(Relation(hosp.schema, (dt.clean for dt in data)),
+                    clean_csv)
+
+    assert main([
+        "batch-repair",
+        "--rules", str(rules_json), "--master", str(master_csv),
+        "--input", str(dirty_csv), "--clean", str(clean_csv),
+        "--progress", "--progress-interval", "0",
+    ]) == 0
+    err = capsys.readouterr().err
+    heartbeats = [line for line in err.splitlines()
+                  if line.startswith("[batch-repair]")]
+    assert len(heartbeats) >= 2
+    # Known input size → percentage prefix; final line has the summary.
+    assert f"/{len(data.tuples)} tuples" in heartbeats[0]
+    assert "tuples/s" in heartbeats[0]
+    assert "done in" in heartbeats[-1]
+    assert any("chase" in line for line in heartbeats)
+
+
+def test_cli_metrics_scrapes_live_server(capsys, small_relation):
+    from repro.engine.remote import MasterServer
+    from repro.engine.store import InMemoryStore
+    from repro.obs import parse_prometheus_text
+
+    with MasterServer(InMemoryStore(small_relation)) as server:
+        assert main(["metrics", "--master-url", server.url]) == 0
+        text = capsys.readouterr().out
+        parsed = parse_prometheus_text(text)
+        assert parsed[("repro_server_store_rows", ())] == len(small_relation)
+
+        assert main(["metrics", "--master-url", server.url,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(entry["series"][0] == "repro_server_requests_total"
+                   for entry in payload["counters"])
+
+
+def test_cli_metrics_unreachable_server_exits_2(capsys):
+    assert main(["metrics", "--master-url", "http://127.0.0.1:9",
+                 "--timeout", "0.5"]) == 2
+    err = capsys.readouterr().err
+    assert "cannot scrape" in err
+    assert "serve-master" in err
