@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test conformance smoke metrics-smoke bench bench-store example lint lint-rules
+.PHONY: test conformance smoke metrics-smoke bench bench-store bench-invalidation example lint lint-rules
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -69,6 +69,15 @@ bench:
 # regenerates the committed BENCH_store.json.
 bench-store:
 	$(PYTHON) benchmarks/bench_store.py
+
+# Delta-invalidation gate at smoke scale: a sustained master-mutation
+# series must resolve every version bump through per-key purges (no full
+# drops) and the post-update rerun must beat a delta_invalidation=False
+# reference engine by >=5x on the same machine (the floor the committed
+# full-mode BENCH_store.json also enforces).
+bench-invalidation:
+	$(PYTHON) benchmarks/bench_store.py --quick --enforce-speedup \
+		--output $${BENCH_INVALIDATION:-/tmp/BENCH_store_invalidation.json}
 
 example:
 	$(PYTHON) examples/batch_throughput.py

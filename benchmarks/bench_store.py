@@ -15,7 +15,15 @@ Seeds ``BENCH_store.json``.  Four questions, per dataset:
    version (over HTTP for the remote backend), so the rerun first rebuilds
    regions/BDD/memos; the gap between (2) and (3) is the price of an
    incremental master update;
-4. **probe latency** — raw ``probe()`` microbenchmark per backend, cold
+4. **sustained mutations** — a series of master inserts, each followed by
+   a rerun, the monitoring steady state the delta journal targets: the
+   engine must answer every bump with a per-key purge (``delta_purges``
+   climbs, ``full_drops`` stays 0) and hold near-warm throughput;
+5. **delta-invalidation speedup** — the same post-update rerun through a
+   ``delta_invalidation=False`` engine measures the historical full-drop
+   cost on the same machine; in full mode the delta path must beat it by
+   ``DELTA_SPEEDUP_FLOOR`` (≥5×), the acceptance bar of the journal seam;
+6. **probe latency** — raw ``probe()`` microbenchmark per backend, cold
    (first touch per key) vs warm (read-through caches hot).  The remote
    backend's warm-cache probe throughput must stay within 5× of sqlite's —
    both are one LRU hit; the floor catches a broken client cache, which
@@ -46,6 +54,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: The remote warm-probe floor relative to sqlite (see module docstring).
 REMOTE_WARM_FACTOR = 5.0
 
+#: Post-update throughput floor of the delta path over the measured
+#: full-drop reference (enforced in full mode; quick mode only reports).
+DELTA_SPEEDUP_FLOOR = 5.0
+
 
 def _run(engine, data) -> tuple:
     started = time.perf_counter()
@@ -58,11 +70,11 @@ def _throughput(count: int, elapsed: float) -> float:
     return round(count / elapsed, 2) if elapsed > 0 else 0.0
 
 
-def _fresh_master_row(bundle):
+def _fresh_master_row(bundle, key: str = "bench-store-fresh-key"):
     """A master tuple with an unseen key, to force real invalidation."""
     donor = bundle.master.row_at(0)
     first_attr = bundle.master.schema.attributes[0]
-    return donor.with_values({first_attr: "bench-store-fresh-key"})
+    return donor.with_values({first_attr: key})
 
 
 def _make_backends(bundle) -> tuple:
@@ -110,7 +122,8 @@ def _bench_probe_latency(store, attr: str, keys: list, repeats: int) -> dict:
     }
 
 
-def bench_dataset(dataset: str, scale: dict, probe_repeats: int) -> dict:
+def bench_dataset(dataset: str, scale: dict, probe_repeats: int,
+                  mutations: int, enforce_speedup: bool) -> dict:
     config = ExperimentConfig(dataset=dataset, **scale)
     bundle, data = load_workload(config)
     print(f"[{dataset}] |Dm|={len(bundle.master)}  |D|={len(data)}")
@@ -138,6 +151,52 @@ def bench_dataset(dataset: str, scale: dict, probe_repeats: int) -> dict:
                 f"{name}: master insert did not invalidate the shared caches"
             )
 
+            # sustained-mutation series: the monitoring steady state —
+            # every insert must resolve through the delta journal, not a
+            # full drop, and throughput must hold near the warm level
+            series_tps = []
+            for i in range(mutations):
+                store.insert(
+                    _fresh_master_row(bundle, f"bench-store-sustained-{i}")
+                )
+                _, step_s = _run(engine, data)
+                series_tps.append(_throughput(len(data), step_s))
+            inner = engine.engine
+            assert inner.delta_purges + inner.full_drops == 1 + mutations, (
+                f"{name}: {1 + mutations} master inserts must produce "
+                f"{1 + mutations} invalidations"
+            )
+
+            # full-drop reference on the same machine/backend: what the
+            # identical post-update rerun costs without the delta path
+            ref_engine = BatchRepairEngine(
+                bundle.rules, store, bundle.schema, delta_invalidation=False
+            )
+            _run(ref_engine, data)  # build the shared caches once
+            store.insert(_fresh_master_row(bundle, "bench-store-ref-key"))
+            ref_updated, ref_s = _run(ref_engine, data)
+            assert ref_updated.report.cache_invalidations == 1
+            assert ref_engine.engine.delta_purges == 0, (
+                f"{name}: the delta_invalidation=False reference must not "
+                f"take the delta path"
+            )
+            # keep the delta engine in lockstep with the store (the probe
+            # microbench below asserts identical rows across backends)
+            _, catchup_s = _run(engine, data)
+            series_tps.append(_throughput(len(data), catchup_s))
+            ref_tps = _throughput(len(data), ref_s)
+            delta_tps = _throughput(len(data), updated_s)
+            speedup = round(delta_tps / ref_tps, 2) if ref_tps else None
+            if enforce_speedup:
+                assert speedup is not None and \
+                    speedup >= DELTA_SPEEDUP_FLOOR, (
+                        f"{name}: delta-path post-update rerun is only "
+                        f"{speedup}x the full-drop reference "
+                        f"({delta_tps:.0f} vs {ref_tps:.0f} tps); the "
+                        f"journal seam requires >= "
+                        f"{DELTA_SPEEDUP_FLOOR:.0f}x"
+                    )
+
             finals[name] = [s.final for s in cold.sessions]
             entry = {
                 "setup_s": round(setup, 4),
@@ -157,6 +216,19 @@ def bench_dataset(dataset: str, scale: dict, probe_repeats: int) -> dict:
                 "invalidation_overhead_s": round(
                     max(updated_s - warm_s, 0.0), 4
                 ),
+                "sustained_mutation_runs": {
+                    "mutations": mutations + 1,
+                    "throughput_tps": series_tps,
+                    "mean_tps": round(
+                        sum(series_tps) / len(series_tps), 2
+                    ) if series_tps else 0.0,
+                    "delta_purges": inner.delta_purges,
+                    "full_drops": inner.full_drops,
+                },
+                "full_drop_reference": {
+                    "post_update_tps": ref_tps,
+                    "delta_speedup": speedup,
+                },
                 "master_version_final": store.version,
             }
             if hasattr(store, "probe_cache_info"):
@@ -168,7 +240,12 @@ def bench_dataset(dataset: str, scale: dict, probe_repeats: int) -> dict:
                   f"{entry['cold_run']['throughput_tps']:8.1f} tps  warm "
                   f"{entry['warm_cache_run']['throughput_tps']:8.1f} tps  "
                   f"post-update "
-                  f"{entry['post_update_run']['throughput_tps']:8.1f} tps")
+                  f"{entry['post_update_run']['throughput_tps']:8.1f} tps  "
+                  f"sustained "
+                  f"{entry['sustained_mutation_runs']['mean_tps']:8.1f} tps "
+                  f"(purges={inner.delta_purges} drops={inner.full_drops})  "
+                  f"full-drop ref {ref_tps:8.1f} tps "
+                  f"(speedup {speedup}x)")
 
         for name in finals:
             assert finals["memory"] == finals[name], (
@@ -212,15 +289,17 @@ def bench_dataset(dataset: str, scale: dict, probe_repeats: int) -> dict:
     return out
 
 
-def run(quick: bool, output: Path) -> dict:
+def run(quick: bool, output: Path, enforce_speedup: bool = False) -> dict:
     scale = (
         {"master_size": 600, "input_size": 100}
         if quick
         else {"master_size": 1500, "input_size": 200}
     )
     probe_repeats = 3 if quick else 10
+    mutations = 3 if quick else 5
     results = {
-        dataset: bench_dataset(dataset, scale, probe_repeats)
+        dataset: bench_dataset(dataset, scale, probe_repeats, mutations,
+                               enforce_speedup=enforce_speedup or not quick)
         for dataset in ("hosp", "dblp")
     }
     payload = {
@@ -229,6 +308,10 @@ def run(quick: bool, output: Path) -> dict:
         "python": platform.python_version(),
         "remote_warm_probe_floor": f"within {REMOTE_WARM_FACTOR:.0f}x of "
                                    f"sqlite",
+        "delta_speedup_floor": (
+            f"post-update rerun >= {DELTA_SPEEDUP_FLOOR:.0f}x the full-drop "
+            f"reference (enforced in full mode)"
+        ),
         "results": results,
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -240,10 +323,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smoke scale (|Dm|~600, |D|=100)")
+    parser.add_argument("--enforce-speedup", action="store_true",
+                        help="gate the delta-invalidation speedup floor "
+                             "even in --quick mode")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_store.json")
     args = parser.parse_args(argv)
-    run(args.quick, args.output)
+    run(args.quick, args.output, enforce_speedup=args.enforce_speedup)
     return 0
 
 

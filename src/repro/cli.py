@@ -197,7 +197,11 @@ def _load_master_store(args):
                 "--master and --master-backend remote are mutually "
                 "exclusive: the remote server owns the master data"
             )
-        return RemoteStore(args.master_url, poll_interval=args.master_poll)
+        return RemoteStore(
+            args.master_url,
+            poll_interval=args.master_poll,
+            probe_cache_size=args.probe_cache_size,
+        )
     if not args.master:
         raise ValueError(
             f"--master is required with --master-backend {args.master_backend}"
@@ -210,7 +214,8 @@ def _load_master_store(args):
         # fresh=True: the CSV is the source of truth; re-running against an
         # existing --sqlite-path must rebuild, not append to, the table.
         return SqliteStore(
-            stream.schema, stream, path=args.sqlite_path, fresh=True
+            stream.schema, stream, path=args.sqlite_path, fresh=True,
+            probe_cache_size=args.probe_cache_size,
         )
     return relation_from_csv(args.master)
 
@@ -294,8 +299,16 @@ def _cmd_batch_repair(args) -> int:
         relation_to_csv(result.to_relation(master.schema), args.output)
         print(f"wrote {result.report.tuples} repaired rows to {args.output}")
     if args.report:
+        payload = result.report.to_dict()
+        # Backend-side accounting rides along when the store keeps any:
+        # LRU hit/miss/eviction/purge counts (sqlite, remote) and the
+        # remote client's transport + delta-reconciliation counters.
+        if hasattr(master, "probe_cache_info"):
+            payload["probe_cache"] = master.probe_cache_info()
+        if hasattr(master, "connection_info"):
+            payload["connection"] = master.connection_info()
         with open(args.report, "w", encoding="utf-8") as handle:
-            json.dump(result.report.to_dict(), handle, indent=2)
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"wrote report to {args.report}")
     return 0 if result.report.incomplete == 0 else 2
@@ -417,6 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --master-backend remote: version re-poll interval",
     )
     lint.add_argument(
+        "--probe-cache-size", type=int, default=4096, metavar="LINES",
+        help="with the sqlite and remote backends: LRU probe-cache bound "
+             "(0 disables caching; default: 4096)",
+    )
+    lint.add_argument(
         "--format", choices=("text", "json", "sarif"), default="text",
         help="report rendering (default: text)",
     )
@@ -475,6 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
              "reads at most every SECONDS (0 = every read; default: only "
              "observe versions piggybacked on this client's own requests — "
              "enough when mutations flow through this process)",
+    )
+    batch.add_argument(
+        "--probe-cache-size", type=int, default=4096, metavar="LINES",
+        help="with the sqlite and remote backends: LRU probe-cache bound "
+             "(0 disables caching; default: 4096).  Eviction and per-key "
+             "purge counts surface in the JSON --report and on /metrics",
     )
     batch.add_argument("--chunk-size", type=int, default=256)
     batch.add_argument(
@@ -536,6 +560,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sqlite-path",
         help="with --master-backend sqlite: database file to use "
              "(default: private in-memory database)",
+    )
+    serve.add_argument(
+        "--probe-cache-size", type=int, default=4096, metavar="LINES",
+        help="with --master-backend sqlite: LRU probe-cache bound for the "
+             "served store (0 disables caching; default: 4096)",
     )
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: loopback only)")

@@ -18,11 +18,15 @@ over the :class:`~repro.engine.store.MasterStore` seam, pure stdlib:
   own connection.
 
 **Invalidation** piggybacks on every request: each server response carries
-an ``X-Master-Version`` header, and the client drops its probe/active/len
-caches the moment it observes a newer stamp — a server-side mutation
-therefore invalidates client caches exactly like a local mutation does
-(the repair engines' version-stamp compare then rebuilds regions, BDD and
-memo tables, as for every other backend).  A client that only ever hits
+an ``X-Master-Version`` header, and the moment the client observes a newer
+stamp it reconciles — it fetches ``GET /deltas?since=<stamp>`` (the
+server's delta journal) and purges exactly the probe/active/len cache
+lines the changed rows project onto, falling back to the historical full
+cache drop whenever the journal cannot prove the list complete.  A
+server-side mutation therefore invalidates client caches exactly like a
+local mutation does, and the client re-exports the journal through its
+own ``deltas_since`` mirror so the repair engines' per-key purge path
+works across the network boundary too.  A client that only ever hits
 its own warm cache would never observe anything, so ``poll_interval``
 optionally re-polls ``/version`` on :attr:`RemoteStore.version` reads
 (``0.0`` = every read; ``None`` = piggyback only, the default — right when
@@ -54,6 +58,7 @@ import socket
 import sys
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from http import client as http_client
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -63,7 +68,9 @@ from urllib.parse import parse_qs, urlsplit
 from repro import obs
 from repro.engine.schema import Domain, RelationSchema
 from repro.engine.store import (
+    DEFAULT_DELTA_WINDOW,
     MasterStore,
+    StoreDelta,
     StoreDetachedError,
     StoreUnavailableError,
     _decode,
@@ -284,6 +291,7 @@ class _MasterRequestHandler(BaseHTTPRequestHandler):
             "/schema": self._get_schema,
             "/len": self._get_len,
             "/rows": self._get_rows,
+            "/deltas": self._get_deltas,
         })
 
     def _get_metrics(self, query: dict) -> None:
@@ -298,6 +306,11 @@ class _MasterRequestHandler(BaseHTTPRequestHandler):
         with self.server.store_lock:
             registry.set_gauge("repro_server_store_rows", len(store))
             registry.set_gauge("repro_server_store_version", store.version)
+            probe_ref_calls = getattr(store, "probe_ref_calls", None)
+            if probe_ref_calls is not None:
+                registry.set_gauge(
+                    "repro_server_store_probe_ref_calls", probe_ref_calls
+                )
             cache_info = getattr(store, "probe_cache_info", None)
             if cache_info is not None:
                 info = cache_info()
@@ -309,6 +322,12 @@ class _MasterRequestHandler(BaseHTTPRequestHandler):
                 )
                 registry.set_gauge(
                     "repro_server_probe_cache_size", info["size"]
+                )
+                registry.set_gauge(
+                    "repro_server_probe_cache_evictions", info["evictions"]
+                )
+                registry.set_gauge(
+                    "repro_server_probe_cache_purged", info["purged"]
                 )
         snapshot = registry.snapshot()
         if query.get("format", ["text"])[0] == "json":
@@ -327,6 +346,25 @@ class _MasterRequestHandler(BaseHTTPRequestHandler):
 
     def _get_len(self, query, payload) -> dict:
         return {"len": len(self.server.store)}
+
+    def _get_deltas(self, query, payload) -> dict:
+        """``GET /deltas?since=V``: the wrapped store's delta journal.
+
+        ``null`` whenever the store cannot prove the list complete (stamp
+        out of the journal window, bulk loads, no journal) — the client
+        then falls back to a full cache drop, exactly like a local
+        consumer.  Runs under the store lock with the piggybacked version
+        stamp, so the list is always consistent with the header.
+        """
+        since = int(query.get("since", ["0"])[0])
+        deltas = self.server.store.deltas_since(since)
+        if deltas is None:
+            return {"deltas": None}
+        return {
+            "deltas": [
+                [d.version, d.op, _encode_values(d.values)] for d in deltas
+            ],
+        }
 
     def _get_rows(self, query, payload) -> dict:
         start = int(query.get("start", ["0"])[0])
@@ -560,6 +598,18 @@ class RemoteStore(MasterStore):
         self._requests = 0
         self._reconnects = 0
         self._invalidations = 0
+        # Delta reconciliation state: a local mirror of the server's
+        # journal (so engines stacked on this client can read
+        # ``deltas_since`` without a round-trip), the contiguous floor it
+        # covers from, and the re-entrancy flag that keeps the nested
+        # ``/deltas`` fetch from re-triggering itself off its own
+        # response header.
+        self._mirror: deque = deque()
+        self._mirror_floor = -1
+        self._delta_fetch_active = False
+        self.delta_purges = 0
+        self.full_drops = 0
+        self.probe_ref_calls = 0
         if schema is None:
             payload, _ = self._request("GET", "/schema")
             schema = schema_from_payload(payload["schema"])
@@ -674,16 +724,97 @@ class RemoteStore(MasterStore):
         return json.loads(data.decode("utf-8")), observed
 
     def _observe_version(self, version: int) -> None:
-        """Adopt a piggybacked server version; newer drops every cache."""
+        """Adopt a piggybacked server version, surgically when possible.
+
+        The first observation adopts silently (nothing is cached yet).
+        Later bumps fetch ``GET /deltas?since=<stamp>`` and purge exactly
+        the cache lines the changed rows project onto; a ``null`` journal
+        answer, a transport failure, or a gapped list falls back to the
+        historical full cache drop.  Either way the client lands on the
+        server's stamp before the triggering caller returns.
+        """
         with self._cache_lock:
             self._last_poll = time.monotonic()
-            if version > self._version:
-                if self._version >= 0:
-                    self._invalidations += 1
+            if version <= self._version:
+                return
+            if self._delta_fetch_active:
+                # The nested /deltas fetch observing its own response
+                # header (or a concurrent request racing it): version
+                # adoption happens when the fetch completes.
+                return
+            if self._version < 0:
                 self._version = version
-                self._probe_cache.clear()
-                self._active_cache.clear()
-                self._len_cache = None
+                self._mirror_floor = version
+                return
+            since = self._version
+            self._delta_fetch_active = True
+        fetched = None
+        try:
+            fetched = self._fetch_deltas(since)
+        finally:
+            with self._cache_lock:
+                self._delta_fetch_active = False
+                self._reconcile(version, since, fetched)
+
+    def _fetch_deltas(self, since: int):
+        """``(records, version_at_fetch)`` from the server, or ``None``."""
+        try:
+            payload, observed = self._request("GET", f"/deltas?since={since}")
+        except (StoreUnavailableError, ValueError):
+            return None
+        wire = payload.get("deltas")
+        if wire is None:
+            return None
+        records = tuple(
+            StoreDelta(v, op, tuple(_decode(c) for c in cells))
+            for v, op, cells in wire
+        )
+        return records, observed
+
+    def _reconcile(self, version: int, since: int, fetched) -> None:
+        """Apply a fetched delta list, or fall back to the full drop.
+
+        Runs under the cache lock with ``_version == since`` (the fetch
+        flag blocks every other adoption path meanwhile).
+        """
+        self._invalidations += 1
+        if fetched is not None:
+            records, observed = fetched
+            # One record per version bump; anything else means a gap.
+            if len(records) == observed - since:
+                for delta in records:
+                    self._apply_delta(delta)
+                self._version = observed
+                self.delta_purges += 1
+                return
+        self.full_drops += 1
+        self._probe_cache.clear()
+        self._active_cache.clear()
+        self._len_cache = None
+        self._version = max(version, since)
+        self._mirror.clear()
+        self._mirror_floor = self._version
+
+    def _apply_delta(self, delta: StoreDelta) -> None:
+        """Patch the read-through caches for one journaled mutation."""
+        self._probe_cache.purge_row(self._schema, delta.values)
+        row = Row(self._schema, delta.values)
+        if delta.op == "insert":
+            for attr, values in self._active_cache.items():
+                values.add(row[attr])
+            if self._len_cache is not None:
+                self._len_cache += 1
+        else:
+            # A deleted value may or may not survive in other rows; drop
+            # just the affected attribute entries (recomputed lazily).
+            for attr in list(self._active_cache):
+                if row[attr] in self._active_cache[attr]:
+                    del self._active_cache[attr]
+            if self._len_cache is not None:
+                self._len_cache -= 1
+        self._mirror.append(delta)
+        while len(self._mirror) > DEFAULT_DELTA_WINDOW:
+            self._mirror_floor = self._mirror.popleft().version
 
     # -- introspection -------------------------------------------------------
 
@@ -711,10 +842,45 @@ class RemoteStore(MasterStore):
         """Adopt the parent's *version* stamp (process-pool resync hook).
 
         Data already lives server-side, so — exactly like the sqlite
-        file-backed path — the worker only drops its connection-local
-        caches; a no-op when the stamp already matches.
+        file-backed path — the worker reconciles only its
+        connection-local caches (per-key via ``/deltas`` when the server
+        journal covers the gap); a no-op when the stamp already matches.
         """
         self._observe_version(version)
+
+    def deltas_since(self, version: int):
+        """Mutations strictly after *version*, from the local mirror.
+
+        Served without a round-trip: every observed bump lands in the
+        mirror as it is reconciled (full drops clear it), so engines
+        stacked on this client get the same delta contract as the
+        in-process backends.  Reads the raw stamp — no poll: callers ask
+        about versions they already observed.
+        """
+        with self._cache_lock:
+            current = self._version
+            if version > current:
+                return None
+            if version == current:
+                return ()
+            if version < self._mirror_floor:
+                return None
+            records = tuple(
+                d for d in self._mirror if d.version > version
+            )
+            if len(records) != current - version:
+                return None
+            return records
+
+    def adopt_deltas(self, deltas, version: int) -> bool:
+        """Resync to the parent's *version*; the row data is server-side.
+
+        The shipped list is advisory here — :meth:`sync_version` runs
+        the same fetch-or-drop reconciliation against the server's own
+        journal, which is the source of truth this client mirrors.
+        """
+        self.sync_version(version)
+        return True
 
     def __len__(self) -> int:
         with self._cache_lock:
@@ -768,6 +934,10 @@ class RemoteStore(MasterStore):
             "repro_store_probe_seconds", backend="remote", op="probe"
         ):
             return self._probe_impl(attrs, key)
+
+    def probe_ref(self, attrs: Iterable, key) -> tuple:
+        self.probe_ref_calls += 1
+        return self.probe(attrs, key)
 
     def _probe_impl(self, attrs: Iterable, key) -> tuple:
         attrs = tuple(attrs)
@@ -861,7 +1031,9 @@ class RemoteStore(MasterStore):
     def probe_cache_info(self) -> dict:
         """LRU accounting for the benchmark layer (sqlite-compatible)."""
         with self._cache_lock:
-            return self._probe_cache.info()
+            info = self._probe_cache.info()
+            info["probe_ref_calls"] = self.probe_ref_calls
+            return info
 
     def connection_info(self) -> dict:
         """Transport accounting: requests, reconnects, observed version."""
@@ -871,6 +1043,8 @@ class RemoteStore(MasterStore):
                 "requests": self._requests,
                 "reconnects": self._reconnects,
                 "invalidations_observed": self._invalidations,
+                "delta_purges": self.delta_purges,
+                "full_drops": self.full_drops,
                 "version": self._version,
             }
 

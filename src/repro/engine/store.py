@@ -36,6 +36,28 @@ stamp so the worker's derived caches line up with the parent's version
 stream.  The batch engine's process pool ships one handle per worker via
 the pool initializer and re-syncs per chunk with
 :meth:`InMemoryStore.reset_rows` / :meth:`SqliteStore.sync_version`.
+
+Delta protocol: dropping *every* derived cache per mutation is correct
+but costs 0.6–1.7s per master update at bench scale, so each local
+backend keeps a bounded **delta journal** — the last
+``DEFAULT_DELTA_WINDOW`` mutations as :class:`StoreDelta` records
+``(version, op, values)``, where ``op`` is ``"insert"`` or ``"delete"``
+and an ``update`` appears as its delete+insert pair over two version
+bumps.  :meth:`MasterStore.deltas_since` returns the records strictly
+after a consumer's stamp, or ``None`` whenever it cannot *prove* the
+list is complete: the stamp fell out of the window, the journal saw a
+version gap (bulk loads, ``replace_all``, mutations applied directly to
+a wrapped relation, reattach stamps), or the backend keeps no journal at
+all (the base class).  ``None`` means "fall back to today's full drop",
+so every consumer remains correct unconditionally — the journal only
+ever *narrows* invalidation, never skips it.  Window sizing trades
+memory (one record per mutation) against how far a consumer may lag
+before it pays a full rebuild; the default 256 covers any realistic
+batch-engine lag (consumers resync on the next fix, i.e. within a
+chunk).  :meth:`MasterStore.adopt_deltas` is the worker-side converse:
+apply a parent's delta list instead of reloading a full snapshot,
+returning False when the deltas cannot be applied cleanly (the caller
+then falls back to the snapshot path).
 """
 
 from __future__ import annotations
@@ -45,7 +67,7 @@ import os
 import sqlite3
 import threading
 from abc import ABC, abstractmethod
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -87,6 +109,91 @@ class StoreUnavailableError(StoreError):
     server is unreachable; the message names the missing resource and the
     remedy.
     """
+
+
+#: Default journal window: how many of the latest mutations a backend
+#: keeps as deltas before a lagging consumer must pay a full cache drop.
+DEFAULT_DELTA_WINDOW = 256
+
+
+@dataclass(frozen=True)
+class StoreDelta:
+    """One journaled master mutation.
+
+    ``op`` is ``"insert"`` or ``"delete"`` (an ``update`` journals as a
+    delete+insert pair over two consecutive versions); ``values`` is the
+    full tuple of the affected row — the row *is* its own key, matching
+    the store write API, and carries everything a consumer needs to
+    project the delta onto any probe key or rule pattern.
+    """
+
+    version: int
+    op: str
+    values: tuple
+
+
+class _DeltaJournal:
+    """Bounded, gap-aware log of the latest mutations of one store.
+
+    Records cover the contiguous version range ``(_floor, last]``.  Any
+    version bump the journal did not witness (bulk loads, direct
+    relation mutations, reattach stamps) shows up as a gap; the journal
+    then discards its history so :meth:`since` degrades to ``None`` —
+    the unconditional full-drop fallback — rather than ever returning an
+    incomplete delta list.  Not thread-safe; callers hold the store
+    lock, exactly as for the surrounding version bookkeeping.
+    """
+
+    __slots__ = ("window", "_records", "_floor")
+
+    def __init__(self, window: int = DEFAULT_DELTA_WINDOW):
+        if window < 1:
+            raise ValueError(f"delta_window must be >= 1, got {window}")
+        self.window = window
+        self._records: deque = deque()
+        self._floor = 0
+
+    def record(self, version: int, op: str, values: tuple) -> None:
+        """Append one mutation; a non-consecutive *version* clears history."""
+        expected = (
+            self._records[-1].version if self._records else self._floor
+        ) + 1
+        if version != expected:
+            self._records.clear()
+            self._floor = version - 1
+        self._records.append(StoreDelta(version, op, tuple(values)))
+        while len(self._records) > self.window:
+            dropped = self._records.popleft()
+            self._floor = dropped.version
+
+    def reset(self, version: int) -> None:
+        """Drop history and restart the contiguous range at *version*.
+
+        Called after any bulk mutation (loads, ``replace_all``,
+        full-path resyncs): consumers stamped before *version* fall back
+        to a full drop, consumers stamped at it see an empty delta list.
+        """
+        self._records.clear()
+        self._floor = version
+
+    def since(self, start: int, current: int):
+        """Deltas strictly after *start* up to *current*, or ``None``.
+
+        ``None`` whenever completeness cannot be proven: *start* is out
+        of the window, the journal's head does not reach *current* (a
+        bump bypassed the journal), or *start* is from the future.
+        """
+        if start > current:
+            return None
+        if start == current:
+            return ()
+        if not self._records:
+            return None
+        if self._records[-1].version != current:
+            return None
+        if start < self._floor:
+            return None
+        return tuple(r for r in self._records if r.version > start)
 
 
 class MasterStore(ABC):
@@ -222,6 +329,32 @@ class MasterStore(ABC):
             f"fork/spawn boundary (no detach() implementation)"
         )
 
+    # -- delta protocol ------------------------------------------------------
+
+    def deltas_since(self, version: int):
+        """Mutations strictly after *version*, or ``None`` if unknowable.
+
+        Returns a tuple of :class:`StoreDelta` records covering every
+        version bump in ``(version, self.version]`` — possibly empty
+        when the stamps already match — or ``None`` when the backend
+        cannot prove the list is complete (stamp out of the journal
+        window, version bumps that bypassed the journal, or no journal
+        at all).  ``None`` instructs consumers to fall back to a full
+        cache drop, so correctness never depends on the journal.
+        """
+        return None
+
+    def adopt_deltas(self, deltas, version: int) -> bool:
+        """Apply a parent's delta list and land on its *version* stamp.
+
+        The incremental counterpart of the snapshot resync protocol:
+        returns True iff the store's contents now equal the parent's at
+        *version*.  False (the default) means the deltas could not be
+        applied cleanly here; the caller must fall back to the full
+        resync path (``reset_rows`` / ``sync_version``).
+        """
+        return False
+
     # -- write API -----------------------------------------------------------
 
     @abstractmethod
@@ -278,12 +411,22 @@ class InMemoryStore(MasterStore):
     directly on the wrapped relation are noticed too.
     """
 
-    def __init__(self, relation: Relation):
+    def __init__(
+        self, relation: Relation, delta_window: int = DEFAULT_DELTA_WINDOW
+    ):
         self._relation = relation
+        self._journal = _DeltaJournal(delta_window)
+        self._journal.reset(relation.mutation_count)
+        self.probe_ref_calls = 0
 
     @classmethod
-    def from_rows(cls, schema: RelationSchema, rows: Iterable = ()) -> "InMemoryStore":
-        return cls(Relation(schema, rows))
+    def from_rows(
+        cls,
+        schema: RelationSchema,
+        rows: Iterable = (),
+        delta_window: int = DEFAULT_DELTA_WINDOW,
+    ) -> "InMemoryStore":
+        return cls(Relation(schema, rows), delta_window=delta_window)
 
     @property
     def relation(self) -> Relation:
@@ -326,6 +469,9 @@ class InMemoryStore(MasterStore):
             return tuple(self.probe_ref(attrs, key))
 
     def probe_ref(self, attrs: Iterable, key):
+        # A plain-int counter is the only telemetry this path can afford
+        # (an obs span per call would dominate the chase hot loop).
+        self.probe_ref_calls += 1
         attrs = tuple(attrs)
         key = tuple(key)
         if len(attrs) != len(key):
@@ -345,9 +491,58 @@ class InMemoryStore(MasterStore):
 
     def insert(self, row) -> None:
         self._relation.insert(row)
+        # The journal's gap detection handles mutations made directly on
+        # the wrapped relation (they bump the counter without a record):
+        # the next deltas_since over such a gap degrades to None.
+        row = self._relation.row_at(len(self._relation) - 1)
+        self._journal.record(
+            self._relation.mutation_count, "insert", tuple(row.values)
+        )
 
     def delete(self, row) -> bool:
-        return self._relation.delete(row)
+        values = tuple(
+            row.values if isinstance(row, Row) else Row(self.schema, row).values
+        )
+        if not self._relation.delete(row):
+            return False
+        self._journal.record(
+            self._relation.mutation_count, "delete", values
+        )
+        return True
+
+    # -- delta protocol ------------------------------------------------------
+
+    def deltas_since(self, version: int):
+        return self._journal.since(version, self._relation.mutation_count)
+
+    def adopt_deltas(self, deltas, version: int) -> bool:
+        """Replay a parent's delta list onto this snapshot copy.
+
+        Validates the list is exactly the contiguous range from this
+        store's stamp to *version* before touching anything; a delete
+        that misses mid-replay returns False (contents diverged — the
+        caller's snapshot fallback replaces everything, so a partial
+        replay is harmless).
+        """
+        if deltas is None:
+            return False
+        current = self._relation.mutation_count
+        deltas = tuple(deltas)
+        if len(deltas) != version - current:
+            return False
+        for offset, delta in enumerate(deltas):
+            if delta.version != current + 1 + offset:
+                return False
+        for delta in deltas:
+            row = Row(self.schema, delta.values)
+            if delta.op == "insert":
+                self.insert(row)
+            elif delta.op == "delete":
+                if not self.delete(row):
+                    return False
+            else:
+                return False
+        return self._relation.mutation_count == version
 
     # -- process-boundary protocol -------------------------------------------
 
@@ -373,8 +568,14 @@ class InMemoryStore(MasterStore):
         the store wrapper survive (rebuilt lazily), and the version stamp
         is taken verbatim from the parent so every derived cache stamped
         with an older version invalidates on the next compare.
+
+        The journal restarts at *version*: the replacement is a bulk
+        mutation with no per-row deltas, so consumers stamped earlier
+        must full-drop, while deltas recorded after this point replay
+        normally (the reattach + adopt_deltas path relies on that).
         """
         self._relation.replace_all(rows, mutation_count=version)
+        self._journal.reset(version)
 
 
 class _ProbeLRU:
@@ -387,7 +588,7 @@ class _ProbeLRU:
     ``put``, exactly as they must around the surrounding bookkeeping.
     """
 
-    __slots__ = ("_data", "maxsize", "hits", "misses")
+    __slots__ = ("_data", "maxsize", "hits", "misses", "evictions", "purged")
 
     def __init__(self, maxsize: int):
         if maxsize < 0:
@@ -396,6 +597,8 @@ class _ProbeLRU:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0  # capacity evictions (LRU tail dropped)
+        self.purged = 0     # delta-targeted removals (purge_row)
 
     def get(self, key):
         """The cached line (bumped most-recent) or None; counts hit/miss."""
@@ -413,9 +616,38 @@ class _ProbeLRU:
         self._data[key] = value
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._data.clear()
+
+    def pop(self, key) -> None:
+        """Drop one line without touching the hit/miss accounting."""
+        if self._data.pop(key, None) is not None:
+            self.purged += 1
+
+    def purge_row(self, schema, values) -> int:
+        """Evict exactly the lines a mutated master row can affect.
+
+        A probe ``(attrs, key)`` changes iff the row projects onto the
+        key: ``row[attrs] == key``.  Lines keyed on attribute lists the
+        row cannot project onto (unstorable values never enter the
+        cache, so projection always succeeds) stay valid — this is the
+        per-key purge that replaces a full ``clear()`` on the delta
+        path.  Returns the number of lines dropped.
+        """
+        positions: dict = {}
+        doomed = []
+        for attrs, key in self._data:
+            pos = positions.get(attrs)
+            if pos is None:
+                pos = positions[attrs] = [schema.index_of(a) for a in attrs]
+            if tuple(values[p] for p in pos) == key:
+                doomed.append((attrs, key))
+        for line in doomed:
+            del self._data[line]
+        self.purged += len(doomed)
+        return len(doomed)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -427,6 +659,8 @@ class _ProbeLRU:
             "misses": self.misses,
             "size": len(self._data),
             "maxsize": self.maxsize,
+            "evictions": self.evictions,
+            "purged": self.purged,
         }
 
 
@@ -503,6 +737,7 @@ class SqliteStore(MasterStore):
         path=None,
         probe_cache_size: int = 4096,
         fresh: bool = False,
+        delta_window: int = DEFAULT_DELTA_WINDOW,
     ):
         """Open (or create) the store and append *rows*.
 
@@ -540,6 +775,8 @@ class SqliteStore(MasterStore):
         self._indexed: set = set()
         self._probe_plans: dict = {}  # attrs tuple -> prepared SELECT
         self._active_cache: dict = {}
+        self._journal = _DeltaJournal(delta_window)
+        self.probe_ref_calls = 0
         self._insert_many(rows)
 
     @classmethod
@@ -633,6 +870,12 @@ class SqliteStore(MasterStore):
             "repro_store_probe_seconds", backend="sqlite", op="probe"
         ):
             return self._probe_impl(attrs, key)
+
+    def probe_ref(self, attrs: Iterable, key):
+        # Same result as probe (already alias-free); the override exists
+        # only to count the hot path, which cannot afford an obs span.
+        self.probe_ref_calls += 1
+        return self.probe(attrs, key)
 
     def _probe_impl(self, attrs: Iterable, key) -> tuple:
         self._guard()
@@ -771,7 +1014,9 @@ class SqliteStore(MasterStore):
     def probe_cache_info(self) -> dict:
         """LRU accounting for the benchmark layer."""
         with self._lock:
-            return self._probe_cache.info()
+            info = self._probe_cache.info()
+            info["probe_ref_calls"] = self.probe_ref_calls
+            return info
 
     # -- process-boundary protocol -------------------------------------------
 
@@ -802,32 +1047,91 @@ class SqliteStore(MasterStore):
             version=self._version,
         )
 
-    def sync_version(self, version: int) -> None:
+    def sync_version(self, version: int, deltas=None) -> None:
         """Adopt the parent's *version* after it mutated the shared file.
 
         The worker-side half of the resync protocol for file-backed
         stores: the data itself arrives through the database file (every
         parent mutation is autocommitted), so the worker only needs to
-        drop its connection-local caches and re-read the row count.  A
-        no-op when the stamp already matches.
+        refresh its connection-local caches.  When the parent also ships
+        the *deltas* covering the version gap, the refresh is surgical —
+        per-row probe-cache purges and active-set patches instead of a
+        wholesale drop + recount; otherwise (or when the delta list does
+        not bridge the gap) the full drop runs as before.  A no-op when
+        the stamp already matches.
         """
         self._guard()
         with self._lock:
             if version == self._version:
                 return
+            if deltas is not None and self._sync_deltas(deltas, version):
+                return
             self._version = version
             self._probe_cache.clear()
             self._active_cache.clear()
+            self._journal.reset(version)
             self._count = self._db.execute(
                 "SELECT COUNT(*) FROM master"
             ).fetchone()[0]
 
+    def _sync_deltas(self, deltas, version: int) -> bool:
+        """Apply a parent's delta list under the lock; False on any gap."""
+        pending = [d for d in deltas if d.version > self._version]
+        if len(pending) != version - self._version:
+            return False
+        for offset, delta in enumerate(pending):
+            if delta.version != self._version + 1 + offset:
+                return False
+            if delta.op not in ("insert", "delete"):
+                return False
+        for delta in pending:
+            self._count += 1 if delta.op == "insert" else -1
+            self._bump_delta(delta.op, delta.values)
+        return True
+
+    # -- delta protocol ------------------------------------------------------
+
+    def deltas_since(self, version: int):
+        with self._lock:
+            return self._journal.since(version, self._version)
+
+    def adopt_deltas(self, deltas, version: int) -> bool:
+        """Resync to the parent's *version*, surgically when possible.
+
+        Always succeeds for this backend: the row data lives in the
+        shared database file, so even an unusable delta list just means
+        the full-drop path of :meth:`sync_version` runs instead.
+        """
+        self.sync_version(version, deltas)
+        return True
+
     # -- mutation ------------------------------------------------------------
 
-    def _bump(self) -> None:
+    def _bump_bulk(self) -> None:
+        """Version bump for a bulk mutation: no per-row deltas exist, so
+        every connection-local cache drops and the journal restarts."""
         self._version += 1
         self._probe_cache.clear()
         self._active_cache.clear()
+        self._journal.reset(self._version)
+
+    def _bump_delta(self, op: str, values: tuple) -> None:
+        """Per-key version bump: journal the delta and purge exactly the
+        probe-cache lines the mutated row projects onto, keeping the rest
+        of the LRU warm across the mutation."""
+        self._version += 1
+        self._journal.record(self._version, op, values)
+        self._probe_cache.purge_row(self._schema, values)
+        if op == "insert":
+            # An insert can only *add* to a column's active set; patch the
+            # cached sets in place (active_values hands out copies, so no
+            # caller aliases them).
+            for attr, cached in self._active_cache.items():
+                cached.add(values[self._schema.index_of(attr)])
+        else:
+            # Whether a deleted value survives in other rows needs a
+            # recount; recompute lazily.
+            self._active_cache.clear()
 
     def _coerce(self, row) -> Row:
         if not isinstance(row, Row):
@@ -875,7 +1179,7 @@ class SqliteStore(MasterStore):
                 inserted += len(batch)
             if inserted:
                 self._count += inserted
-                self._bump()
+                self._bump_bulk()
 
     def insert(self, row) -> None:
         self._guard()
@@ -884,7 +1188,9 @@ class SqliteStore(MasterStore):
         with self._lock:
             self._db.execute(self._insert_sql(), encoded)
             self._count += 1
-            self._bump()
+            # Journal the codec-canonical values (what probes/iteration
+            # decode back), not the caller's spelling of them.
+            self._bump_delta("insert", tuple(_decode(c) for c in encoded))
 
     def delete(self, row) -> bool:
         self._guard()
@@ -903,7 +1209,7 @@ class SqliteStore(MasterStore):
                 return False
             self._db.execute("DELETE FROM master WHERE rid = ?", record)
             self._count -= 1
-            self._bump()
+            self._bump_delta("delete", tuple(_decode(c) for c in encoded))
         return True
 
     def close(self) -> None:
@@ -935,7 +1241,7 @@ class MemoryStoreHandle:
         stream, not the reload's.
         """
         store = InMemoryStore.from_rows(self.schema)
-        store.relation.replace_all(self.rows, mutation_count=self.version)
+        store.reset_rows(self.rows, self.version)
         return store
 
 
@@ -970,6 +1276,7 @@ class SqliteStoreHandle:
             probe_cache_size=self.probe_cache_size,
         )
         store._version = self.version
+        store._journal.reset(self.version)
         return store
 
 

@@ -35,7 +35,9 @@ repro_region_precompute_seconds       histogram  —                           `
 repro_bdd_build_seconds               histogram  —                           Suggest⁺ BDD miss span (fresh suggestion + append)
 repro_chase_memo_total                counter    result=hit|miss             batch chase memo lookups
 repro_transfix_memo_total             counter    result=hit|miss             batch TransFix memo lookups
-repro_cache_invalidations_total       counter    —                           master-version moves dropping shared caches
+repro_cache_invalidations_total       counter    —                           master-version moves reconciling shared caches
+repro_store_delta_purge_total         counter    —                           version moves resolved by per-key delta purges
+repro_store_full_drop_total           counter    —                           version moves falling back to the full cache drop
 repro_store_probe_seconds             histogram  backend, op=probe|many      ``MasterStore.probe``/``probe_many`` span per backend
 repro_remote_request_seconds          histogram  endpoint                    ``RemoteStore`` HTTP request span (client side)
 repro_remote_requests_total           counter    endpoint, status            ``RemoteStore`` request outcomes (status=ok|error)
@@ -47,6 +49,9 @@ repro_server_store_version            gauge      —                           s
 repro_server_probe_cache_hits         gauge      —                           served store LRU hits (backends with a cache)
 repro_server_probe_cache_misses       gauge      —                           served store LRU misses
 repro_server_probe_cache_size         gauge      —                           served store LRU resident lines
+repro_server_probe_cache_evictions    gauge      —                           LRU lines evicted by capacity (``--probe-cache-size``)
+repro_server_probe_cache_purged       gauge      —                           LRU lines removed by per-key delta purges
+repro_server_store_probe_ref_calls    gauge      —                           served store ``probe_ref`` calls (repair hot path)
 ====================================  =========  ==========================  ================================================
 
 The server-side series live in the :class:`MasterServer`'s *own* always-on

@@ -72,6 +72,7 @@ from repro.engine.store import StoreError, as_master_store
 from repro.engine.tuples import Row
 from repro.obs import count_fixes_by_rule, session_provenance
 from repro.repair.certainfix import CertainFix, IncompleteFix
+from repro.repair.invalidation import FootprintIndex, RecordingStore
 from repro.repair.oracle import SimulatedUser
 from repro.repair.transfix import TransFixResult
 
@@ -129,6 +130,10 @@ class BatchReport:
     suggestion_hits: int = 0
     suggestion_misses: int = 0
     cache_invalidations: int = 0
+    #: Of the ``cache_invalidations``, how many were absorbed via per-key
+    #: delta purges vs. how many fell back to the historical full drop.
+    delta_purges: int = 0
+    full_drops: int = 0
     master_version: int = 0
     #: Wall-clock seconds of the shared precomputation this run leaned on:
     #: ``region_precompute_s`` (paid once at engine construction, amortized
@@ -201,6 +206,8 @@ class BatchReport:
                 "hit_rate": round(self.suggestion_hit_rate, 4),
             },
             "cache_invalidations": self.cache_invalidations,
+            "delta_purges": self.delta_purges,
+            "full_drops": self.full_drops,
             "master_version": self.master_version,
             "timings": {
                 name: round(value, 6)
@@ -246,9 +253,11 @@ class BatchReport:
             )
         if self.cache_invalidations:
             lines.append(
-                f"master updated mid-run: shared caches rebuilt "
+                f"master updated mid-run: shared caches reconciled "
                 f"{self.cache_invalidations} time(s) "
-                f"(store version {self.master_version})"
+                f"({self.delta_purges} delta purge(s), "
+                f"{self.full_drops} full drop(s), "
+                f"store version {self.master_version})"
             )
         for message in self.store_errors:
             lines.append(f"STORE FAILURE: {message}")
@@ -308,6 +317,14 @@ class _MemoCertainFix(CertainFix):
         self._memoize = memoize
         self._chase_memo: dict = {}
         self._transfix_memo: dict = {}
+        # Reverse indexes from master probe footprints to memo entries:
+        # a journal delta purges exactly the entries whose chase/TransFix
+        # run probed the changed row (see repro.repair.invalidation).
+        self._chase_footprints = FootprintIndex(self.store.schema)
+        self._transfix_footprints = FootprintIndex(self.store.schema)
+        # Per-thread footprint-recording store swapped in around miss-path
+        # recomputes (thread-local: concurrent sessions record separately).
+        self._recording = threading.local()
         self.chase_stats = MemoStats()
         self.transfix_stats = MemoStats()
         self._bdd_lock = None
@@ -362,21 +379,60 @@ class _MemoCertainFix(CertainFix):
                 stats["_chunk"] = chunk_seq
                 stats["chunks"] += 1
 
-    def _sync_master_version(self) -> bool:
-        # The guard is re-entrant: this subclass's memo tables are cleared
-        # within the same hold as the base teardown, and the stamp-checked
-        # writes below guarantee a worker that computed against the old
-        # version cannot re-poison the freshly cleared tables.
-        with self._memo_guard:
-            changed = super()._sync_master_version()
-            if changed:
-                self._chase_memo.clear()
-                self._transfix_memo.clear()
-        return changed
+    # Both hooks run under the base engine's ``_memo_guard`` hold, and the
+    # stamp-checked writes below guarantee a worker that computed against
+    # the old version cannot re-poison the freshly reconciled tables.
+
+    def _drop_master_caches(self) -> None:
+        super()._drop_master_caches()
+        self._chase_memo.clear()
+        self._transfix_memo.clear()
+        self._chase_footprints.clear()
+        self._transfix_footprints.clear()
+
+    def _apply_master_deltas(self, deltas) -> bool:
+        if not super()._apply_master_deltas(deltas):
+            return False
+        # Purge soundness: an entry whose recorded probes all miss the
+        # changed rows recomputes along the identical probe path to the
+        # identical outcome, so only footprint hits need to go.  Every
+        # entry must carry a footprint for that argument to hold — if the
+        # tables ever disagree (they should not), fall back to the drop.
+        rows = [delta.values for delta in deltas]
+        for memo, index in (
+            (self._chase_memo, self._chase_footprints),
+            (self._transfix_memo, self._transfix_footprints),
+        ):
+            if len(memo) != len(index):
+                return False
+            for key in index.affected(rows):
+                memo.pop(key, None)
+                index.discard(key)
+        return True
 
     def _memo_key(self, row: Row, validated: frozenset) -> tuple:
         attrs = tuple(sorted(validated))
         return attrs, row[attrs]
+
+    def _chase_store(self):
+        # Miss-path recomputes chase through a footprint-recording wrapper
+        # (installed by _record_footprints below); everything else reads
+        # the store directly.
+        recording = getattr(self._recording, "store", None)
+        return recording if recording is not None else self.store
+
+    def _record_footprints(self, compute):
+        """Run *compute* (a chase/TransFix recompute) with probe-footprint
+        recording; returns ``(result, footprints_or_None)``."""
+        if not self._delta_invalidation:
+            return compute(), None
+        recording = RecordingStore(self.store)
+        self._recording.store = recording
+        try:
+            result = compute()
+        finally:
+            self._recording.store = None
+        return result, recording.footprints
 
     def _unique(self, row: Row, validated: frozenset) -> bool:
         if not self._memoize:
@@ -389,10 +445,14 @@ class _MemoCertainFix(CertainFix):
                 self.chase_stats.misses += 1
                 self._bump_thread("chase_misses")
             obs.inc("repro_chase_memo_total", result="miss")
-            cached = super()._unique(row, validated)
+            cached, footprints = self._record_footprints(
+                lambda: super(_MemoCertainFix, self)._unique(row, validated)
+            )
             with self._memo_guard:
                 if self._master_version == stamp:
                     self._chase_memo[key] = cached
+                    if footprints is not None:
+                        self._chase_footprints.add(key, footprints)
         else:
             with self._stats_lock:
                 self.chase_stats.hits += 1
@@ -411,7 +471,9 @@ class _MemoCertainFix(CertainFix):
                 self.transfix_stats.misses += 1
                 self._bump_thread("transfix_misses")
             obs.inc("repro_transfix_memo_total", result="miss")
-            result = super()._transfix(row, validated)
+            result, footprints = self._record_footprints(
+                lambda: super(_MemoCertainFix, self)._transfix(row, validated)
+            )
             fixes = tuple(
                 (rule.rhs, result.row[rule.rhs]) for rule, _ in result.applied
             )
@@ -420,6 +482,8 @@ class _MemoCertainFix(CertainFix):
                     self._transfix_memo[key] = (
                         fixes, tuple(result.applied), result.lookups,
                     )
+                    if footprints is not None:
+                        self._transfix_footprints.add(key, footprints)
             return result
         with self._stats_lock:
             self.transfix_stats.hits += 1
@@ -519,26 +583,32 @@ def _warm_chunk_probes(engine, pairs) -> float:
 def _process_worker_chunk(task: tuple) -> dict:
     """Monitor one chunk in this worker; returns sessions + stats deltas.
 
-    ``task`` is ``(seq, pairs, version, snapshot)``.  *version* is the
-    parent store's version when the chunk was dispatched; when it differs
-    from this worker's store the master mutated mid-batch, and the worker
-    resyncs before monitoring — through the shared database file for
-    sqlite (*snapshot* is None), or from the shipped row *snapshot* for
-    in-memory masters — so a mid-batch master update still invalidates
-    every worker's version-stamped caches.
+    ``task`` is ``(seq, pairs, version, snapshot, deltas)``.  *version* is
+    the parent store's version when the chunk was dispatched; when it
+    differs from this worker's store the master mutated mid-batch, and the
+    worker resyncs before monitoring — preferably by adopting the shipped
+    journal *deltas* (which keeps the worker store's own journal
+    contiguous, so the engine resync right after can purge per-key),
+    falling back to the shipped row *snapshot* for in-memory masters or
+    the shared database file for sqlite (*snapshot* is None) — so a
+    mid-batch master update still invalidates every worker's
+    version-stamped caches.
     """
-    seq, pairs, version, snapshot = task
+    seq, pairs, version, snapshot, deltas = task
     engine = _WORKER_ENGINE
     store = engine.store
     invalidations0 = engine.cache_invalidations
+    delta_purges0 = engine.delta_purges
+    full_drops0 = engine.full_drops
     # Strictly newer only: tasks are dispatched through one FIFO queue, so
     # dispatch versions arrive monotonically; the guard is belt-and-braces
     # against ever "syncing" a worker backwards.
     if version > store.version:
-        if snapshot is not None:
-            store.reset_rows(snapshot, version)
-        else:
-            store.sync_version(version)
+        if not (deltas is not None and store.adopt_deltas(deltas, version)):
+            if snapshot is not None:
+                store.reset_rows(snapshot, version)
+            else:
+                store.sync_version(version)
         engine.resync_master()
     warm_s = 0.0
     if store.supports_batched_probes:
@@ -569,6 +639,8 @@ def _process_worker_chunk(task: tuple) -> dict:
             (suggestion.misses - sugg_misses0) if suggestion is not None else 0,
         ),
         "invalidations": engine.cache_invalidations - invalidations0,
+        "delta_purges": engine.delta_purges - delta_purges0,
+        "full_drops": engine.full_drops - full_drops0,
         "warm_s": warm_s,
         # Ack: lets the parent stop attaching snapshots once every worker
         # has confirmed the post-mutation stamp.
@@ -789,21 +861,26 @@ class BatchRepairEngine:
         store = self._engine.store
         version = store.version
         snapshot = None
-        if (
-            version != self._pool_version
-            and not store.shares_storage_across_processes
-        ):
+        deltas = None
+        if version != self._pool_version:
             acked = sum(
                 1 for v in self._worker_versions.values() if v >= version
             )
             if acked >= self.concurrency:
                 self._pool_version = version
             else:
-                if self._snapshot_cache is None or \
-                        self._snapshot_cache[0] != version:
-                    self._snapshot_cache = (version, tuple(store))
-                snapshot = self._snapshot_cache[1]
-        return (seq, chunk, version, snapshot)
+                # Ship the journal gap alongside: a worker that can adopt
+                # the deltas resyncs per-key (and its engine then purges
+                # per-key too) instead of replacing its whole store state.
+                # None when the journal cannot vouch for the gap — workers
+                # then use the snapshot / shared-file fallback.
+                deltas = store.deltas_since(self._pool_version)
+                if not store.shares_storage_across_processes:
+                    if self._snapshot_cache is None or \
+                            self._snapshot_cache[0] != version:
+                        self._snapshot_cache = (version, tuple(store))
+                    snapshot = self._snapshot_cache[1]
+        return (seq, chunk, version, snapshot, deltas)
 
     # -- execution -------------------------------------------------------------
 
@@ -845,7 +922,8 @@ class BatchRepairEngine:
         worker_stats: dict = {}
         totals = {
             "chase": [0, 0], "transfix": [0, 0], "suggestions": [0, 0],
-            "invalidations": 0, "warm_s": 0.0,
+            "invalidations": 0, "delta_purges": 0, "full_drops": 0,
+            "warm_s": 0.0,
         }
 
         def hit_rates() -> dict:
@@ -878,6 +956,8 @@ class BatchRepairEngine:
                 totals[name][0] += result[name][0]
                 totals[name][1] += result[name][1]
             totals["invalidations"] += result["invalidations"]
+            totals["delta_purges"] += result["delta_purges"]
+            totals["full_drops"] += result["full_drops"]
             totals["warm_s"] += result["warm_s"]
             stats = worker_stats.setdefault(result["worker"], {
                 "chunks": 0, "tuples": 0,
@@ -946,6 +1026,8 @@ class BatchRepairEngine:
             suggestion_hits=totals["suggestions"][0],
             suggestion_misses=totals["suggestions"][1],
             cache_invalidations=totals["invalidations"],
+            delta_purges=totals["delta_purges"],
+            full_drops=totals["full_drops"],
             master_version=self._safe_store_version(),
             timings={
                 "region_precompute_s": self._region_precompute_s,
@@ -966,6 +1048,8 @@ class BatchRepairEngine:
         chase_before = engine.chase_stats.snapshot()
         transfix_before = engine.transfix_stats.snapshot()
         invalidations_before = engine.cache_invalidations
+        delta_purges_before = engine.delta_purges
+        full_drops_before = engine.full_drops
         bdd_before = engine.cache_stats
         bdd_hits0 = bdd_before.hits if bdd_before is not None else 0
         bdd_misses0 = bdd_before.misses if bdd_before is not None else 0
@@ -1070,6 +1154,8 @@ class BatchRepairEngine:
             cache_invalidations=(
                 engine.cache_invalidations - invalidations_before
             ),
+            delta_purges=engine.delta_purges - delta_purges_before,
+            full_drops=engine.full_drops - full_drops_before,
             master_version=self._safe_store_version(),
             timings={
                 "region_precompute_s": self._region_precompute_s,

@@ -33,6 +33,11 @@ from repro.engine.store import as_master_store
 from repro.engine.tuples import Row
 from repro.obs import FixProvenance
 from repro.repair.bdd import CacheStats, SuggestionCache
+from repro.repair.invalidation import (
+    RecordingStore,
+    RegionGuard,
+    patch_pattern_cache,
+)
 from repro.repair.region_search import comp_c_region
 from repro.repair.suggest import Suggestion, suggest
 from repro.repair.transfix import transfix
@@ -164,6 +169,14 @@ class CertainFix:
     initial_region_rank:
         Which precomputed region to start from (0 = CRHQ; higher ranks give
         the CRMQ comparison of Exp-1(2)).
+    delta_invalidation:
+        Consume the store's delta journal on master mutation: purge only
+        the cache entries a changed row can touch and keep everything
+        else stamped valid, falling back to the full drop whenever the
+        journal cannot vouch for the gap (window overflow, bulk loads,
+        deletes the region guard will not absorb).  Off means every
+        version move performs the historical full teardown — the
+        reference behaviour the equivalence fuzz compares against.
     """
 
     def __init__(
@@ -180,6 +193,7 @@ class CertainFix:
         validate_uniqueness: bool = True,
         suggest_validate_patterns: int = 48,
         collect_provenance: bool = False,
+        delta_invalidation: bool = True,
     ):
         self.rules = list(rules)
         self.store = as_master_store(master)
@@ -213,6 +227,12 @@ class CertainFix:
         # Re-entrant: subclasses extend the teardown within the same hold.
         self._memo_guard = threading.RLock()
         self.cache_invalidations = 0
+        self._delta_invalidation = delta_invalidation
+        self._region_guard = None
+        #: How many master-version moves were absorbed via per-key delta
+        #: purges vs. how many fell back to the historical full drop.
+        self.delta_purges = 0
+        self.full_drops = 0
         self.collect_provenance = collect_provenance
         # Position of each rule object in Σ, for provenance records.  Keyed
         # by identity: equal-but-distinct duplicates must keep their own
@@ -230,9 +250,26 @@ class CertainFix:
     def regions(self) -> list:
         if self._regions is None:
             with obs.time_block("repro_region_precompute_seconds"):
-                self._regions = comp_c_region(
-                    self.rules, self.store, self.schema
-                )
+                if self._delta_invalidation:
+                    # Record the build's master footprint so the region
+                    # guard can later prove a delta batch leaves the
+                    # rebuild outcome unchanged.
+                    recording = RecordingStore(self.store)
+                    record: list = []
+                    self._regions = comp_c_region(
+                        self.rules, recording, self.schema, record=record
+                    )
+                    self._region_guard = RegionGuard(
+                        self.rules,
+                        self.schema,
+                        self.store,
+                        recording.footprints,
+                        record,
+                    )
+                else:
+                    self._regions = comp_c_region(
+                        self.rules, self.store, self.schema
+                    )
             if not self._regions:
                 raise ValueError(
                     "no certain region exists for (Σ, Dm); CertainFix needs "
@@ -257,14 +294,19 @@ class CertainFix:
     # -- master-version synchronisation -----------------------------------------
 
     def _sync_master_version(self) -> bool:
-        """Drop version-stamped state when the master store moved.
+        """Reconcile version-stamped state when the master store moved.
 
         Checked on every monitored tuple (an integer compare when nothing
         changed).  Regions, the Suggest⁺ BDD, the suggest memo and the
         pattern-probe cache were all computed against a concrete master
         state; any of them may certify fixes that are no longer certain
-        after an insert/delete/update, so all are rebuilt lazily.
-        Subclasses extend this to cover their own caches.
+        after an insert/delete/update.  With ``delta_invalidation`` on,
+        the store's delta journal names the changed rows and
+        :meth:`_apply_master_deltas` purges surgically; whenever the
+        journal cannot vouch for the gap (``deltas_since`` returns
+        ``None``) or a delta resists surgical treatment, the historical
+        full drop runs instead — so correctness never depends on the
+        delta path succeeding.
         """
         version = self.store.version
         if version == self._master_version:
@@ -272,15 +314,62 @@ class CertainFix:
         with self._memo_guard:
             if version == self._master_version:
                 return False  # another worker already performed the teardown
+            deltas = (
+                self.store.deltas_since(self._master_version)
+                if self._delta_invalidation
+                else None
+            )
+            if deltas and self._apply_master_deltas(deltas):
+                self.delta_purges += 1
+                counter = "repro_store_delta_purge_total"
+            else:
+                self._drop_master_caches()
+                self.full_drops += 1
+                counter = "repro_store_full_drop_total"
             self._master_version = version
-            self._regions = None
-            self._pattern_cache.clear()
-            if self._suggest_memo is not None:
-                self._suggest_memo.clear()
-            if self._cache is not None:
-                self._cache.invalidate()
             self.cache_invalidations += 1
+        obs.inc(counter)
         obs.inc("repro_cache_invalidations_total")
+        return True
+
+    def _drop_master_caches(self) -> None:
+        """The historical full teardown: every derived cache rebuilds
+        lazily.  Subclasses extend this to cover their own caches.
+        Runs under ``_memo_guard``."""
+        self._regions = None
+        self._region_guard = None
+        self._pattern_cache.clear()
+        if self._suggest_memo is not None:
+            self._suggest_memo.clear()
+        if self._cache is not None:
+            self._cache.invalidate()
+
+    def _apply_master_deltas(self, deltas) -> bool:
+        """Purge per-key for a journal delta batch; True on success.
+
+        Regions survive iff the :class:`RegionGuard` proves a rebuild
+        would reproduce them; per-rule pattern caches (the engine's and
+        the BDD's) are patched row by row; the suggest memo is cleared
+        (suggestions embed witness sweeps — retention would not be
+        bit-identical); BDD nodes are retained because ``_valid_for``
+        revalidates every cached suggestion against the live master.
+        Subclasses extend this with footprint-indexed memo purges.
+        Runs under ``_memo_guard``; a False return means the caller must
+        fall back to :meth:`_drop_master_caches`.
+        """
+        rows = [Row(self.store.schema, delta.values) for delta in deltas]
+        if self._regions is not None:
+            guard = self._region_guard
+            if guard is None or not guard.absorb(deltas, self.store):
+                self._regions = None
+                self._region_guard = None
+        patch_pattern_cache(self._pattern_cache, self.rules, deltas, rows)
+        if self._cache is not None:
+            patch_pattern_cache(
+                self._cache._pattern_cache, self.rules, deltas, rows
+            )
+        if self._suggest_memo is not None:
+            self._suggest_memo.clear()
         return True
 
     def resync_master(self) -> bool:
@@ -407,11 +496,18 @@ class CertainFix:
     # -- overridable hot-path hooks (the batch engine memoizes these) ----------
 
     def _unique(self, row: Row, validated: frozenset) -> bool:
-        outcome = chase(row, validated, self.rules, self.store)
+        outcome = chase(row, validated, self.rules, self._chase_store())
         return outcome.unique
 
     def _transfix(self, row: Row, validated: frozenset):
-        return transfix(row, validated, self.rules, self.store, self.graph)
+        return transfix(
+            row, validated, self.rules, self._chase_store(), self.graph
+        )
+
+    def _chase_store(self):
+        """The store chase/TransFix read from.  The batch engine's memo
+        subclass swaps in a footprint-recording wrapper on miss paths."""
+        return self.store
 
     def _round_provenance(self, result, round_index: int) -> tuple:
         """One :class:`FixProvenance` per rule application of this round.

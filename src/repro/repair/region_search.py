@@ -69,25 +69,57 @@ def _validated_tableau(
     schema: RelationSchema,
     validate_patterns: int,
     max_instantiations: int,
+    record: list = None,
 ):
     """Build and validate a master-projected tableau for Z.
 
     Returns ``(region_or_None, checked, valid)``; the region keeps the
-    validated patterns (capped) as its tableau.
+    validated patterns (capped) as its tableau.  When *record* is a list,
+    a dict describing this seed's examination — candidate-pattern count
+    and per-checked-pattern ``[pattern, verdict, probe footprint]``
+    entries (verdict ``good`` / ``vacuous`` / ``failed``) — is appended,
+    the raw material for delta-aware region retention
+    (:class:`repro.repair.invalidation.RegionGuard`).  The footprint is
+    the set of keyed probes the check performed, captured by pushing a
+    sink on *master* when it supports one (a ``RecordingStore``), else
+    ``None`` (which disables retention).
     """
     candidates = master_projected_patterns(z, rules, master)
     checked = 0
     good = []
+    checks_record = [] if record is not None else None
+    scoped = checks_record is not None and hasattr(master, "push_sink")
     for pattern in candidates:
         if checked >= validate_patterns:
             break
         checked += 1
         probe_region = Region(z, tableau=None)
-        check = check_pattern(
-            rules, master, probe_region, pattern, schema, max_instantiations
-        )
-        if check.certain and check.instantiations > 0:
+        sink = set() if scoped else None
+        if scoped:
+            master.push_sink(sink)
+        try:
+            check = check_pattern(
+                rules, master, probe_region, pattern, schema, max_instantiations
+            )
+        finally:
+            if scoped:
+                master.pop_sink()
+        is_good = check.certain and check.instantiations > 0
+        if is_good:
             good.append(pattern)
+        if checks_record is not None:
+            verdict = (
+                "good" if is_good
+                else "vacuous" if check.instantiations == 0
+                else "failed"
+            )
+            checks_record.append(
+                [pattern, verdict, frozenset(sink) if scoped else None]
+            )
+    if record is not None:
+        record.append(
+            {"z": z, "candidates": len(candidates), "checks": checks_record}
+        )
     if not good:
         return None, checked, 0
     region = Region(z, PatternTableau(z, good))
@@ -108,6 +140,7 @@ def comp_c_region(
     max_extra: int = 3,
     validate_patterns: int = 64,
     max_instantiations: int = 50_000,
+    record: list = None,
 ) -> list:
     """Derive a ranked list of certain regions from (Σ, Dm).
 
@@ -116,6 +149,8 @@ def comp_c_region(
     :class:`~repro.engine.store.MasterStore` or a plain relation; regions
     derived here are valid only for the store version they were computed
     against (the repair engines stamp and rebuild them on master updates).
+    When *record* is a list it receives one examination dict per seed
+    (see :func:`_validated_tableau`) for delta-aware retention.
     """
     master = as_master_store(master)
     rules = list(rules)
@@ -167,7 +202,8 @@ def comp_c_region(
         if len(candidates) >= max_regions:
             break
         region, checked, valid = _validated_tableau(
-            z, rules, master, schema, validate_patterns, max_instantiations
+            z, rules, master, schema, validate_patterns, max_instantiations,
+            record=record,
         )
         if region is None:
             continue

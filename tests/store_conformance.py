@@ -14,9 +14,15 @@ This module captures that contract once, as a suite any backend inherits:
   ``update`` is delete-then-insert (the replacement lands at iteration
   end), both visible to subsequent probes (cache invalidation);
 * iteration — insertion order, surviving mixed mutations;
+* delta journal — ``deltas_since`` returns the exact contiguous
+  :class:`~repro.engine.store.StoreDelta` list for every witnessed
+  mutation (update = delete+insert pair), ``()`` at the current stamp,
+  and ``None`` whenever completeness cannot be proven (future stamps,
+  stamps fallen out of the journal window) — the contract the
+  delta-aware cache invalidation of the repair layer rests on;
 * process protocol — ``detach()``/``reattach()`` round-trips rows and the
   version stamp, and a parent mutation reaches the clone through the
-  backend's resync hook.
+  backend's resync hook (snapshot or incremental via ``adopt_deltas``).
 
 Usage: subclass :class:`StoreConformance` in a ``test_*.py`` module and
 provide the ``store`` fixture (a fresh backend loaded with
@@ -33,7 +39,7 @@ contract tests for free::
 import pytest
 
 from repro.engine.schema import INT, RelationSchema
-from repro.engine.store import MasterStore
+from repro.engine.store import DEFAULT_DELTA_WINDOW, MasterStore
 from repro.engine.tuples import Row
 from repro.engine.values import NULL
 
@@ -59,6 +65,11 @@ class StoreConformance:
     #: Set False for backends that refuse detach() (private :memory:
     #: databases); the detach tests then assert the refusal instead.
     supports_detach = True
+
+    #: How many mutations the backend's delta journal retains; the
+    #: window-overflow test mutates one past this to force the ``None``
+    #: (full-drop) fallback.  Override when a backend uses another bound.
+    delta_window = DEFAULT_DELTA_WINDOW
 
     def schema(self) -> RelationSchema:
         return conformance_schema()
@@ -271,6 +282,90 @@ class StoreConformance:
         store.delete(rows[0])
         store.insert(second)
         assert list(store) == [rows[1], rows[2], rows[3], first, second]
+
+    # -- delta journal protocol ----------------------------------------------
+
+    def test_deltas_since_current_stamp_is_empty(self, store):
+        assert store.deltas_since(store.version) == ()
+
+    def test_deltas_since_future_stamp_is_none(self, store):
+        """A stamp the store has never reached is unknowable, not empty."""
+        assert store.deltas_since(store.version + 1) is None
+
+    def test_mutations_journal_as_contiguous_deltas(self, store):
+        """Every witnessed mutation must appear as one StoreDelta, in
+        order, covering exactly ``(v0, version]`` — including a NULL
+        cell surviving the backend's wire encoding."""
+        schema = self.schema()
+        rows = self.rows()
+        v0 = store.version
+        extra = Row(schema, ("d", "z", 9))
+        store.insert(extra)
+        assert store.delete(rows[3])  # ("c", NULL, 4)
+        deltas = store.deltas_since(v0)
+        assert deltas is not None
+        assert [d.version for d in deltas] == [v0 + 1, v0 + 2]
+        assert [d.op for d in deltas] == ["insert", "delete"]
+        assert deltas[0].values == extra.values
+        assert deltas[1].values == rows[3].values
+
+    def test_update_journals_as_delete_insert_pair(self, store):
+        schema = self.schema()
+        old = self.rows()[1]
+        new = Row(schema, ("b", "y2", 2))
+        v0 = store.version
+        assert store.update(old, new)
+        deltas = store.deltas_since(v0)
+        assert deltas is not None
+        assert [(d.version, d.op, d.values) for d in deltas] == [
+            (v0 + 1, "delete", old.values),
+            (v0 + 2, "insert", new.values),
+        ]
+
+    def test_failed_mutations_do_not_journal(self, store):
+        schema = self.schema()
+        missing = Row(schema, ("ghost", "g", 0))
+        v0 = store.version
+        assert not store.delete(missing)
+        assert not store.update(missing, Row(schema, ("ghost", "g2", 0)))
+        assert store.deltas_since(v0) == ()
+
+    def test_deltas_window_overflow_falls_back_to_none(self, store):
+        """A consumer lagging past the journal window must get ``None``
+        (the full-drop instruction), never a truncated list; the recent
+        tail inside the window stays servable."""
+        schema = self.schema()
+        v0 = store.version
+        for i in range(self.delta_window + 1):
+            store.insert(Row(schema, (f"w{i}", "w", i)))
+        assert store.deltas_since(v0) is None
+        tail = store.deltas_since(store.version - 1)
+        assert tail is not None and len(tail) == 1
+        assert tail[0].op == "insert"
+        assert tail[0].values == (f"w{self.delta_window}", "w",
+                                  self.delta_window)
+
+    def test_reattached_clone_adopts_parent_deltas(self, store):
+        """The incremental resync path: a clone lagging by journaled
+        mutations lands on the parent's stamp and contents through
+        ``adopt_deltas`` alone (or refuses with False, never corrupts)."""
+        if not self.supports_detach:
+            pytest.skip("backend refuses detach()")
+        schema = self.schema()
+        handle = store.detach()
+        clone = handle.reattach()
+        try:
+            late = Row(schema, ("late", "z", 99))
+            store.insert(late)
+            assert store.delete(self.rows()[0])
+            deltas = store.deltas_since(clone.version)
+            assert deltas is not None and len(deltas) == 2
+            assert clone.adopt_deltas(deltas, store.version)
+            assert clone.version == store.version
+            assert list(clone) == list(store)
+            assert clone.probe(("k",), ("late",)) == (late,)
+        finally:
+            self.cleanup_clone(clone)
 
     # -- process protocol ----------------------------------------------------
 

@@ -288,6 +288,114 @@ def test_hypothesis_remote_vs_memory_interleavings():
     run()
 
 
+def test_hypothesis_delta_invalidation_matches_full_drop():
+    """Property test (hypothesis): the delta-aware invalidation path
+    (per-key purges + region retention) must be observationally
+    equivalent to the historical full cache drop under random
+    insert / delete / update interleavings — the acceptance bar of the
+    delta journal.  Non-BDD sessions must match bit-for-bit; BDD runs
+    retain solver nodes across deltas, so there the contract is the
+    user-observable outcome (final rows, completion, validated attrs).
+    """
+    hypothesis = pytest.importorskip("hypothesis")
+    st = hypothesis.strategies
+
+    keys = [f"k{i}" for i in range(5)]
+
+    @hypothesis.settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[hypothesis.HealthCheck.too_slow,
+                               hypothesis.HealthCheck.data_too_large],
+    )
+    @hypothesis.given(data=st.data())
+    def run(data):
+        use_bdd = data.draw(st.booleans(), label="use_bdd")
+        schema, rules, rows = _tiny_bundle()
+        stores = {
+            "delta": InMemoryStore(Relation(schema, list(rows))),
+            "drop": InMemoryStore(Relation(schema, list(rows))),
+        }
+        engines = {
+            "delta": BatchRepairEngine(rules, stores["delta"], schema,
+                                       use_bdd=use_bdd),
+            "drop": BatchRepairEngine(rules, stores["drop"], schema,
+                                      use_bdd=use_bdd,
+                                      delta_invalidation=False),
+        }
+        known = list(rows)
+        next_id = [0]
+
+        def do_insert():
+            key = data.draw(st.sampled_from(keys), label="insert key")
+            row = Row(schema, (key, f"v{next_id[0]}"))
+            next_id[0] += 1
+            # unique keys per master, or the rule hits a MasterConflict
+            for existing in list(known):
+                if existing["key"] == key:
+                    for store in stores.values():
+                        assert store.delete(existing)
+                    known.remove(existing)
+            for store in stores.values():
+                store.insert(row)
+            known.append(row)
+
+        def do_delete():
+            if len(known) <= 1:
+                return
+            victim = known.pop(
+                data.draw(st.integers(0, len(known) - 1), label="victim")
+            )
+            for store in stores.values():
+                assert store.delete(victim)
+
+        def do_update():
+            if not known:
+                return
+            index = data.draw(st.integers(0, len(known) - 1),
+                              label="update index")
+            old = known[index]
+            new = Row(schema, (old["key"], f"v{next_id[0]}"))
+            next_id[0] += 1
+            for store in stores.values():
+                assert store.update(old, new)
+            known[index] = new
+
+        actions = {"insert": do_insert, "delete": do_delete,
+                   "update": do_update}
+        for _ in range(data.draw(st.integers(2, 6), label="ops")):
+            actions[data.draw(st.sampled_from(sorted(actions)),
+                              label="action")]()
+            if not known:
+                continue
+            target = known[data.draw(
+                st.integers(0, len(known) - 1), label="target")]
+            dirty = Row(schema, (target["key"], "dirty"))
+            clean = Row(schema, (target["key"], target["val"]))
+            outputs = {
+                name: engine.run([(dirty, SimulatedUser(clean))]).sessions
+                for name, engine in engines.items()
+            }
+            if use_bdd:
+                for a, b in zip(outputs["delta"], outputs["drop"]):
+                    assert a.final == b.final
+                    assert a.completed == b.completed
+                    assert a.validated == b.validated
+            else:
+                _assert_sessions_identical(outputs["delta"],
+                                           outputs["drop"])
+            assert outputs["delta"][0].final == clean
+        # both engines observed every mutation; the full-drop reference
+        # never takes the delta path
+        delta_engine, drop_engine = (engines["delta"].engine,
+                                     engines["drop"].engine)
+        assert (delta_engine.delta_purges + delta_engine.full_drops
+                == delta_engine.cache_invalidations)
+        assert drop_engine.delta_purges == 0
+
+    run()
+
+
 def test_fuzz_backends_stay_identical_under_random_mutations():
     """Property test: interleave random master mutations with monitoring;
     after every step both backends report the same version delta and fix
