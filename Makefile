@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test conformance smoke metrics-smoke bench bench-store bench-invalidation example lint lint-rules
+.PHONY: test conformance smoke metrics-smoke bench bench-store bench-invalidation example lint lint-rules certify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,39 @@ lint-rules:
 		--master $${LINT_FIXTURES:-/tmp/lint-fixtures}/dblp.master.csv \
 		--fail-on error --format sarif \
 		--output $${LINT_FIXTURES:-/tmp/lint-fixtures}/dblp.sarif
+
+# Exact certification gate over the shipped rule sets: the full analyzer
+# (structural + master-aware + E205/W206/I208) must reproduce the
+# committed golden JSON/SARIF byte-for-byte, and a `--fix` pass over the
+# already-clean sets must be a no-op (fix-it idempotence).  Runs from
+# inside the fixtures dir so artifact URIs in the goldens stay relative.
+CERTIFY_DIR ?= /tmp/lint-fixtures
+certify:
+	$(PYTHON) -m repro.lint.fixtures --out-dir $(CERTIFY_DIR)
+	for name in hosp dblp; do \
+		cd $(CERTIFY_DIR) && \
+		PYTHONPATH=$(CURDIR)/src $(PYTHON) -m repro lint \
+			--rules $$name.rules.json --master $$name.master.csv \
+			--fail-on error --format json \
+			--output $$name.certify.json && \
+		PYTHONPATH=$(CURDIR)/src $(PYTHON) -m repro lint \
+			--rules $$name.rules.json --master $$name.master.csv \
+			--fail-on error --format sarif \
+			--output $$name.certify.sarif && \
+		cd $(CURDIR) && \
+		diff -u tests/golden/$$name.certify.json \
+			$(CERTIFY_DIR)/$$name.certify.json && \
+		diff -u tests/golden/$$name.certify.sarif \
+			$(CERTIFY_DIR)/$$name.certify.sarif && \
+		cp $(CERTIFY_DIR)/$$name.rules.json $(CERTIFY_DIR)/$$name.fixed.json && \
+		cd $(CERTIFY_DIR) && \
+		PYTHONPATH=$(CURDIR)/src $(PYTHON) -m repro lint \
+			--rules $$name.fixed.json --master $$name.master.csv \
+			--fix > /dev/null && \
+		cd $(CURDIR) && \
+		cmp $(CERTIFY_DIR)/$$name.rules.json $(CERTIFY_DIR)/$$name.fixed.json \
+		|| exit 1; \
+	done
 
 # The MasterStore contract suite against every backend (memory, sqlite
 # file + :memory:, remote HTTP).  A subset of `test`, but named so a

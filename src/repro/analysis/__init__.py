@@ -17,6 +17,7 @@
 """
 
 from repro.analysis.active_domain import (
+    ActiveDomainCache,
     FreshValue,
     attribute_active_domain,
     global_active_domain,
@@ -52,6 +53,7 @@ from repro.analysis.zproblems import (
 )
 
 __all__ = [
+    "ActiveDomainCache",
     "AnalysisExplosion",
     "DependencyGraph",
     "ExploreResult",

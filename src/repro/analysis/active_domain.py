@@ -90,6 +90,43 @@ def attribute_active_domain(attr: str, rules: Iterable, master: Relation) -> set
     return out
 
 
+class ActiveDomainCache:
+    """Memoised per-attribute active domains for one ``(rules, master)`` pair.
+
+    ``attribute_active_domain`` scans the master's active values for every
+    master column an attribute interacts with; across the pattern tuples of
+    one tableau (and across several analyses over the same inputs) those
+    domains are identical, so recomputing them per pattern tuple is pure
+    waste — on slow store backends it is a re-probe per attribute per
+    pattern.  The cache is only sound while the master version is fixed;
+    callers running across mutations must build a fresh cache.
+
+    ``computed``/``reused`` count lookups so reports can show the saved
+    work (`RegionReport.domain_stats`).
+    """
+
+    def __init__(self, rules: Iterable, master: Relation) -> None:
+        self.rules = list(rules)
+        self.master = master
+        self._domains: dict = {}
+        self.computed = 0
+        self.reused = 0
+
+    def domain(self, attr: str) -> set:
+        """The active domain of *attr*, computed at most once."""
+        cached = self._domains.get(attr)
+        if cached is not None:
+            self.reused += 1
+            return cached
+        self.computed += 1
+        active = attribute_active_domain(attr, self.rules, self.master)
+        self._domains[attr] = active
+        return active
+
+    def stats(self) -> dict:
+        return {"computed": self.computed, "reused": self.reused}
+
+
 def _sort_key(value):
     return (type(value).__name__, repr(value))
 

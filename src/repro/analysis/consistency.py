@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.analysis.active_domain import (
-    attribute_active_domain,
+    ActiveDomainCache,
     instantiate_condition,
     read_attrs,
 )
@@ -69,6 +69,10 @@ class RegionReport:
 
     region: Region
     checks: list = field(default_factory=list)
+    #: active-domain cache counters: {"computed": n, "reused": m}.  Reuse
+    #: across pattern tuples (and across analyses sharing one cache) is the
+    #: saved work; ``computed`` is bounded by the number of distinct attrs.
+    domain_stats: dict = field(default_factory=dict)
 
     @property
     def consistent(self) -> bool:
@@ -100,12 +104,17 @@ def _instantiation_space(
     rules: Sequence,
     master: Relation,
     schema: RelationSchema,
+    domains: ActiveDomainCache = None,
 ):
     """Per-attribute concrete value choices for one pattern tuple.
 
     Only attributes the rules can read need instantiation; the rest are
-    validated with an irrelevant value (``UNKNOWN``).
+    validated with an irrelevant value (``UNKNOWN``).  Active domains come
+    from *domains* when given, so repeated pattern tuples share one scan of
+    the master per attribute.
     """
+    if domains is None:
+        domains = ActiveDomainCache(rules, master)
     readable = read_attrs(rules)
     choices = []
     for attr in region_attrs:
@@ -116,9 +125,8 @@ def _instantiation_space(
             else:
                 choices.append((attr, [UNKNOWN]))
             continue
-        active = attribute_active_domain(attr, rules, master)
         values = instantiate_condition(
-            condition, active, schema.domain_of(attr), attr
+            condition, domains.domain(attr), schema.domain_of(attr), attr
         )
         choices.append((attr, values))
     return choices
@@ -131,10 +139,13 @@ def check_pattern(
     pattern: PatternTuple,
     schema: RelationSchema,
     max_instantiations: int = 200_000,
+    domains: ActiveDomainCache = None,
 ) -> PatternCheck:
     """Check one pattern tuple: consistency and coverage of its instances."""
     rules = list(rules)
-    choices = _instantiation_space(pattern, region.attrs, rules, master, schema)
+    choices = _instantiation_space(
+        pattern, region.attrs, rules, master, schema, domains
+    )
 
     space = 1
     for _, values in choices:
@@ -214,15 +225,26 @@ def check_region(
     region: Region,
     schema: RelationSchema,
     max_instantiations: int = 200_000,
+    domains: ActiveDomainCache = None,
 ) -> RegionReport:
-    """Check every pattern tuple of the region (Theorem 4: one by one)."""
+    """Check every pattern tuple of the region (Theorem 4: one by one).
+
+    One :class:`ActiveDomainCache` is shared across all pattern tuples (and
+    with the caller's other analyses when *domains* is passed in); the
+    report's ``domain_stats`` records the computed/reused split.
+    """
+    rules = list(rules)
+    if domains is None:
+        domains = ActiveDomainCache(rules, master)
     report = RegionReport(region=region)
     for pattern in region.tableau:
         report.checks.append(
             check_pattern(
-                rules, master, region, pattern, schema, max_instantiations
+                rules, master, region, pattern, schema, max_instantiations,
+                domains,
             )
         )
+    report.domain_stats = domains.stats()
     return report
 
 

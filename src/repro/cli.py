@@ -137,16 +137,58 @@ def _cmd_mine(args) -> int:
 
 def _cmd_lint(args) -> int:
     from repro.engine.store import StoreError, as_master_store
-    from repro.lint import run_lint, sarif_rule_metadata
+    from repro.lint import apply_fixits, run_lint, sarif_rule_metadata
 
     try:
-        rules = _load_rules_file(args.rules)
+        with open(args.rules, encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            rules, region, rule_lines = rule_io.load_document(text)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(
+                f"E100 [unparsable-rules]: {args.rules} is not a valid rule "
+                f"file: {exc}"
+            ) from exc
         store = as_master_store(_load_master_store(args))
     except (OSError, ValueError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.fix:
+        # Fixed-point loop: removing a rule can surface new findings (a
+        # subsumed rule becomes dead, a region extension becomes minimal),
+        # so re-lint after each batch.  Five rounds bounds pathological
+        # rule files; a converged run's last lint is the one reported.
+        applied_total = 0
+        for _ in range(5):
+            try:
+                report = run_lint(rules, store.schema, store, region=region)
+            except StoreError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            result = apply_fixits(rules, report.diagnostics, region)
+            if not result.changed:
+                break
+            rules, region = result.rules, result.region
+            applied_total += len(result.applied)
+            for fixit in result.applied:
+                print(f"fix: {json.dumps(fixit, sort_keys=True, default=str)}")
+        else:
+            print("error: --fix did not reach a fixed point after 5 rounds",
+                  file=sys.stderr)
+            return 2
+        if applied_total:
+            text = rule_io.dumps(rules, region=region)
+            with open(args.rules, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            rule_lines = rule_io.rule_source_lines(text + "\n", len(rules))
+            print(f"fix: applied {applied_total} fix-it(s) and rewrote "
+                  f"{args.rules}")
+        else:
+            print("fix: no applyable fix-its")
+
     try:
-        report = run_lint(rules, store.schema, store)
+        report = run_lint(rules, store.schema, store, region=region)
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -159,6 +201,7 @@ def _cmd_lint(args) -> int:
             report.to_sarif(
                 artifact_uri=args.rules,
                 rule_metadata=sarif_rule_metadata(report.passes_run),
+                rule_lines=rule_lines,
             ),
             indent=2,
         )
@@ -448,6 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the rendered report to this file instead of stdout "
              "(the summary still prints; used for CI SARIF artifacts)",
     )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply machine fix-its (remove_rule from W103/W104/W108, "
+             "extend_region from I208) to --rules in place, re-linting "
+             "until a fixed point, then report on the fixed file",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     batch = sub.add_parser(
@@ -526,10 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy for sessions that exhaust --max-rounds",
     )
     batch.add_argument(
-        "--preflight", choices=("error", "warn", "off"), default="error",
-        help="structural lint gate before precompute: 'error' refuses "
-             "rule programs with error-level findings, 'warn' prints "
-             "findings and continues, 'off' skips linting",
+        "--preflight", choices=("error", "warn", "off", "certify"),
+        default="error",
+        help="lint gate before precompute: 'error' refuses rule programs "
+             "with error-level structural findings, 'warn' prints findings "
+             "and continues, 'off' skips linting, 'certify' additionally "
+             "runs the exact master-aware certification (E205/W206/I208) "
+             "and refuses provably inconsistent programs",
     )
     batch.add_argument("--no-bdd", action="store_true",
                        help="disable the shared Suggest+ BDD cache")

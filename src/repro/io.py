@@ -135,12 +135,94 @@ def region_from_dict(obj: Mapping) -> Region:
     return Region(attrs, tableau)
 
 
-def dumps(rules: Iterable, indent: int = 2) -> str:
-    """A rule set as a JSON document."""
-    return json.dumps({"rules": rules_to_dicts(rules)}, indent=indent)
+def dumps(rules: Iterable, indent: int = 2, region: Region = None) -> str:
+    """A rule set (optionally with a declared region) as a JSON document."""
+    document = {"rules": rules_to_dicts(rules)}
+    if region is not None:
+        document["region"] = region_to_dict(region)
+    return json.dumps(document, indent=indent)
 
 
 def loads(text: str) -> list:
     """Parse a rule set from a JSON document produced by :func:`dumps`."""
     document = json.loads(text)
     return rules_from_dicts(document["rules"])
+
+
+def load_document(text: str) -> tuple:
+    """Parse a rule document fully: ``(rules, region_or_None, rule_lines)``.
+
+    ``rule_lines[i]`` is the 1-based source line of rule *i*'s opening
+    brace (``None`` when the scanner cannot find it) — the anchor SARIF
+    ``physicalLocation`` regions point at.
+    """
+    document = json.loads(text)
+    rules = rules_from_dicts(document["rules"])
+    region = (
+        region_from_dict(document["region"])
+        if "region" in document
+        else None
+    )
+    return rules, region, rule_source_lines(text, len(rules))
+
+
+def rule_source_lines(text: str, count: int = None) -> list:
+    """1-based source line of each top-level object in the ``"rules"`` array.
+
+    A small string-aware scanner, not a parser: it walks *text* once,
+    tracks bracket depth outside JSON strings, finds the array opened
+    right after the top-level ``"rules"`` key, and records the line of
+    every ``{`` at depth ``rules-array + 1``.  Returns ``[None] * count``
+    when the document does not look like :func:`dumps` output.
+    """
+    lines: list = []
+    line = 1
+    depth = 0
+    in_string = False
+    escaped = False
+    string_start = None  # (line, content so far) of the string being read
+    pending_key = None  # last completed string, a candidate object key
+    rules_depth = None  # bracket depth of the "rules" array, once entered
+    expect_rules_array = False
+    for ch in text:
+        if ch == "\n":
+            line += 1
+        if in_string:
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+                pending_key = string_start[1]
+            elif string_start is not None:
+                string_start = (string_start[0], string_start[1] + ch)
+            continue
+        if ch == '"':
+            in_string = True
+            escaped = False
+            string_start = (line, "")
+            continue
+        if ch == ":":
+            if depth == 1 and pending_key == "rules":
+                expect_rules_array = True
+            continue
+        if ch in "{[":
+            if ch == "[" and expect_rules_array:
+                rules_depth = depth
+                expect_rules_array = False
+            elif ch == "{" and rules_depth is not None and depth == rules_depth + 1:
+                lines.append(line)
+            depth += 1
+            pending_key = None
+            continue
+        if ch in "}]":
+            depth -= 1
+            if rules_depth is not None and depth == rules_depth:
+                rules_depth = None  # left the rules array
+            continue
+        if ch not in " \t\r\n,":
+            expect_rules_array = False
+    if count is not None and len(lines) != count:
+        return [None] * count
+    return lines

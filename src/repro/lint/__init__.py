@@ -66,8 +66,40 @@ W204    null-master-values        A master column rules read contains
                                   against it.
 ======  ========================  =========================================
 
+Certification passes (exact Sect. 4 analyses over the certified region —
+declared in the rule file, else the best computed region, else the
+canonical mandatory-attribute region; see :mod:`repro.lint.certify`).
+All three run under the ``max_instantiations`` budget: past it the run
+*degrades* — consistency falls back to the sampled W202 search, coverage
+to attribute-closure level — and the degradation is always reported as an
+info-level E205 diagnostic (plus the
+``repro_lint_budget_exhausted_total`` counter), never silent.  When the
+exact check completes, W202 stays silent (E205 subsumes it):
+
+======  ========================  =========================================
+E205    provably-inconsistent     Some region-marked input provably admits
+                                  two distinct fixes (minimized concrete
+                                  witness attached).  Remove/reconcile the
+                                  rules or assure the conflicting
+                                  attribute.  Info severity = the exact
+                                  check degraded to the sampled fallback.
+W206    region-not-certain        Attributes are uncoverable (outside the
+                                  closure of Z — exact, PTIME) or stay
+                                  uncovered on a concrete witness.  Extend
+                                  the region or add covering rules.
+I208    region-extension          Minimal assured-attribute extension that
+                                  makes the region certain; carries an
+                                  ``extend_region`` fix-it.  Marked
+                                  closure-level when over budget.
+======  ========================  =========================================
+
 Master-aware results are cached per store keyed on ``(rule fingerprint,
-store version, budgets)``; see :mod:`repro.lint.runner`.
+store version, budgets, region)``; see :mod:`repro.lint.runner`.
+Certification results additionally survive master mutations through the
+delta journal when no delta hits their recorded probe footprints
+(:func:`repro.lint.certify.certification_cache_info`).  Fix-its
+(``remove_rule`` from W103/W104/W108, ``extend_region`` from I208) are
+applied by ``repro lint --fix`` via :mod:`repro.lint.fixit`.
 """
 
 from repro.lint.diagnostics import (
@@ -85,7 +117,16 @@ from repro.lint.registry import (
 )
 
 # Importing the pass modules registers every pass with the registry.
+# Order matters for the report: master_aware registers W201/W202/E203/W204
+# before certify registers E205/W206/I208.
 from repro.lint import master_aware, structural  # noqa: F401  (registration)
+from repro.lint import certify  # noqa: F401  (registration)
+from repro.lint.certify import (
+    Certification,
+    certification_cache_info,
+    certification_for,
+)
+from repro.lint.fixit import FixitResult, apply_fixits
 from repro.lint.runner import (
     PREFLIGHT_MODES,
     preflight,
@@ -105,6 +146,11 @@ __all__ = [
     "STRUCTURAL",
     "MASTER",
     "registered_passes",
+    "Certification",
+    "certification_cache_info",
+    "certification_for",
+    "FixitResult",
+    "apply_fixits",
     "PREFLIGHT_MODES",
     "preflight",
     "rules_fingerprint",

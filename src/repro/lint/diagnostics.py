@@ -213,13 +213,17 @@ class LintReport:
         self,
         artifact_uri: Optional[str] = None,
         rule_metadata: Optional[Iterable[Dict[str, Any]]] = None,
+        rule_lines: Optional[List[Optional[int]]] = None,
     ) -> Dict[str, Any]:
         """The report as a SARIF 2.1.0 log (one run, logical locations).
 
         *artifact_uri*, when given, names the linted rule file so viewers
         can attach results to it.  *rule_metadata* is the tool's rule
         table (id + description per diagnostic code); the runner supplies
-        it from the pass registry.
+        it from the pass registry.  *rule_lines* maps rule index → 1-based
+        source line (:func:`repro.io.rule_source_lines`), giving
+        rule-scoped results a ``physicalLocation`` region so code-scanning
+        annotations land on the offending rule instead of line 1.
         """
         results = []
         for d in self.diagnostics:
@@ -236,9 +240,19 @@ class LintReport:
                     logical["fullyQualifiedName"] = f"rules[{d.rule_index}]"
                 location["logicalLocations"] = [logical]
             if artifact_uri is not None:
-                location["physicalLocation"] = {
+                physical: Dict[str, Any] = {
                     "artifactLocation": {"uri": artifact_uri}
                 }
+                line = None
+                if (
+                    rule_lines is not None
+                    and d.rule_index is not None
+                    and 0 <= d.rule_index < len(rule_lines)
+                ):
+                    line = rule_lines[d.rule_index]
+                if line is not None:
+                    physical["region"] = {"startLine": line}
+                location["physicalLocation"] = physical
             if location:
                 result["locations"] = [location]
             if d.data is not None:

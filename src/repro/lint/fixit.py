@@ -1,0 +1,138 @@
+"""Fix-it application: machine edits derived from lint diagnostics.
+
+A fix-it is the plain dict some diagnostics carry (``Diagnostic.fixit``):
+
+* ``{"action": "remove_rule", "rule_index": i}`` — emitted by W103
+  (duplicate), W104 (subsumed) and W108 (dead rule): the rule is provably
+  inert or redundant and can be dropped;
+* ``{"action": "reorder_rules", "order": [...]}`` — a permutation of the
+  rule file (no current pass emits one; the engine supports it for
+  external tools and future confluence-repair passes);
+* ``{"action": "extend_region", "attrs": [...], "region": {...}}`` —
+  emitted by I208: assure more attributes so the region becomes certain;
+  ``region`` is the full extended region to declare when the file has
+  none.
+
+:func:`apply_fixits` applies one lint run's fix-its to the rule list (and
+declared region) *as a batch against the original indices* — exactly the
+contract under which the producing passes computed them.  ``repro lint
+--fix`` then re-lints and repeats until a fixed point (new findings can
+surface once rules disappear), with an idempotence check at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.regions import Region
+from repro.io import region_from_dict
+
+#: Fix-it actions the engine knows how to apply.
+SUPPORTED_ACTIONS = ("remove_rule", "reorder_rules", "extend_region")
+
+
+@dataclass
+class FixitResult:
+    """Outcome of one :func:`apply_fixits` batch."""
+
+    rules: List
+    region: Optional[Region]
+    applied: List[Dict[str, Any]] = field(default_factory=list)
+    skipped: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def _fixit_of(item) -> Optional[Dict[str, Any]]:
+    if isinstance(item, dict):
+        return item
+    return getattr(item, "fixit", None)
+
+
+def apply_fixits(
+    rules: Sequence,
+    diagnostics: Sequence,
+    region: Optional[Region] = None,
+) -> FixitResult:
+    """Apply every applyable fix-it from *diagnostics* to ``(rules, region)``.
+
+    *diagnostics* may hold :class:`~repro.lint.diagnostics.Diagnostic`
+    objects or raw fix-it dicts.  All indices refer to the *input* rule
+    list (the batch semantics above): removals are collected as a set, at
+    most one reorder is honoured (later conflicting ones are skipped), and
+    the final sequence is reorder-then-remove.  Malformed or out-of-range
+    fix-its are skipped, never raised — lint output must stay applyable
+    even when stale.
+    """
+    rules = list(rules)
+    count = len(rules)
+    removals: set = set()
+    order: Optional[List[int]] = None
+    applied: List[Dict[str, Any]] = []
+    skipped: List[Dict[str, Any]] = []
+
+    extend_fixits: List[Dict[str, Any]] = []
+    for item in diagnostics:
+        fixit = _fixit_of(item)
+        if fixit is None:
+            continue
+        action = fixit.get("action")
+        if action == "remove_rule":
+            index = fixit.get("rule_index")
+            if isinstance(index, int) and 0 <= index < count:
+                removals.add(index)
+                applied.append(fixit)
+            else:
+                skipped.append(fixit)
+        elif action == "reorder_rules":
+            sequence = fixit.get("order")
+            if (
+                order is None
+                and isinstance(sequence, list)
+                and sorted(sequence) == list(range(count))
+            ):
+                order = list(sequence)
+                applied.append(fixit)
+            else:
+                skipped.append(fixit)
+        elif action == "extend_region":
+            extend_fixits.append(fixit)
+        else:
+            skipped.append(fixit)
+
+    new_region = region
+    for fixit in extend_fixits:
+        attrs = fixit.get("attrs")
+        if not isinstance(attrs, list) or not attrs:
+            skipped.append(fixit)
+            continue
+        if new_region is None and isinstance(fixit.get("region"), dict):
+            # No declared region to extend: declare the full extended
+            # region the producing pass certified against.
+            try:
+                new_region = region_from_dict(fixit["region"])
+            except (KeyError, TypeError, ValueError):
+                skipped.append(fixit)
+                continue
+            applied.append(fixit)
+        elif new_region is not None:
+            extended = new_region.extend_attrs(attrs)
+            if extended is new_region:
+                skipped.append(fixit)  # attrs already assured: no-op
+            else:
+                new_region = extended
+                applied.append(fixit)
+        else:
+            skipped.append(fixit)
+
+    sequence = order if order is not None else list(range(count))
+    new_rules = [rules[i] for i in sequence if i not in removals]
+    return FixitResult(
+        rules=new_rules,
+        region=new_region,
+        applied=applied,
+        skipped=skipped,
+    )

@@ -261,9 +261,20 @@ def check_non_confluent_pairs(ctx: LintContext) -> List[Diagnostic]:
     fixpoints mean the final value of ``B`` depends on application order —
     exactly the non-confluence the Sect. 4 consistency analysis exists to
     rule out.  Region tableaux can exclude such inputs in deployment, so
-    this is a warning, not an error."""
+    this is a warning, not an error.
+
+    Since the exact certification pass (E205) landed, this sampled search
+    is the *over-budget fallback* only: when the exact Sect. 4 check of
+    :mod:`repro.lint.certify` completed, its verdict subsumes any sampled
+    pair witness (E205 owns real inconsistencies; a clean exact verdict
+    proves no marked input diverges) and this pass stays silent."""
     store = ctx.store
     if store is None or not 0 < len(store) <= ctx.max_master_rows:
+        return []
+    from repro.lint.certify import certification_for
+
+    cert = certification_for(ctx)
+    if cert is not None and cert.exact_complete:
         return []
     rules = list(ctx.rules)
     budget = ctx.max_witness_pairs

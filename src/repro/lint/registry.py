@@ -51,6 +51,16 @@ class LintContext:
     max_witness_pairs: int = 16
     #: State budget handed to the exhaustive chase per witness.
     max_chase_states: int = 20_000
+    #: Instantiation budget for the exact Sect. 4 certification passes
+    #: (E205/W206/I208); past it they degrade to the sampled fallback.
+    max_instantiations: int = 50_000
+    #: Largest assured-attribute extension I208 searches for.
+    max_extension_size: int = 3
+    #: Exact region checks I208 spends on candidate extensions.
+    max_extension_checks: int = 32
+    #: Declared certain region to certify against; ``None`` resolves to the
+    #: best computed region, then the canonical mandatory-attr region.
+    region: Optional[object] = None
     #: Scratch shared between passes within one run (never cached).
     scratch: Dict = field(default_factory=dict)
 

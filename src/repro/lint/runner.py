@@ -22,9 +22,10 @@ import sys
 import weakref
 from typing import Iterable, List, Optional, Sequence, TextIO, Tuple
 
+from repro import obs
 from repro.engine.schema import RelationSchema
 from repro.engine.store import MasterStore, as_master_store
-from repro.io import rules_to_dicts
+from repro.io import region_to_dict, rules_to_dicts
 from repro.lint.diagnostics import Diagnostic, LintError, LintReport
 from repro.lint.registry import (
     MASTER,
@@ -48,13 +49,30 @@ def rules_fingerprint(rules: Iterable) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _budget_key(ctx: LintContext) -> Tuple[int, int, int, int]:
+def _budget_key(ctx: LintContext) -> Tuple[int, ...]:
     return (
         ctx.max_master_rows,
         ctx.max_witness_masters,
         ctx.max_witness_pairs,
         ctx.max_chase_states,
+        ctx.max_instantiations,
+        ctx.max_extension_size,
+        ctx.max_extension_checks,
     )
+
+
+def _region_key(ctx: LintContext) -> Optional[str]:
+    """A stable fingerprint of the declared region (``None`` when absent).
+
+    Certification findings depend on the region being certified, so it
+    must participate in the master-cache key alongside the budgets.
+    """
+    if ctx.region is None:
+        return None
+    canonical = json.dumps(
+        region_to_dict(ctx.region), sort_keys=True, default=repr
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _run_family(
@@ -62,7 +80,8 @@ def _run_family(
 ) -> List[Diagnostic]:
     out: List[Diagnostic] = []
     for lint in passes:
-        out.extend(lint.run(ctx))
+        with obs.time_block("repro_lint_pass_seconds", code=lint.code):
+            out.extend(lint.run(ctx))
     return out
 
 
@@ -79,6 +98,7 @@ def _master_diagnostics(
         rules_fingerprint(ctx.rules),
         store.version,
         _budget_key(ctx),
+        _region_key(ctx),
         tuple(p.code for p in passes),
     )
     try:
@@ -107,7 +127,8 @@ def run_lint(
     schema when a master is given, else to *schema* (the paper's
     same-schema setting).  *codes* restricts the run to specific
     diagnostic codes; *budgets* override :class:`LintContext` analysis
-    budgets (``max_master_rows``, ``max_witness_pairs``, ...).
+    budgets (``max_master_rows``, ``max_witness_pairs``,
+    ``max_instantiations``, ...) or pin the certification ``region``.
     """
     store: Optional[MasterStore] = None
     if master is not None:
@@ -171,7 +192,7 @@ def structural_report(
 
 
 #: Accepted preflight modes (the BatchRepairEngine / CLI knob).
-PREFLIGHT_MODES = ("error", "warn", "off")
+PREFLIGHT_MODES = ("error", "warn", "off", "certify")
 
 
 def preflight(
@@ -181,13 +202,19 @@ def preflight(
     mode: str = "error",
     context: str = "rule program",
     stream: Optional[TextIO] = None,
+    master=None,
 ) -> Optional[LintReport]:
-    """Gate a rule program on its structural lint findings.
+    """Gate a rule program on its lint findings.
 
-    ``mode="error"`` raises :class:`LintError` when error-level findings
-    exist (warnings pass silently); ``mode="warn"`` never raises but
-    prints every finding to *stream* (default ``sys.stderr``);
-    ``mode="off"`` skips linting entirely and returns ``None``.
+    ``mode="error"`` raises :class:`LintError` when error-level
+    *structural* findings exist (warnings pass silently);
+    ``mode="warn"`` never raises but prints every finding to *stream*
+    (default ``sys.stderr``); ``mode="off"`` skips linting entirely and
+    returns ``None``.  ``mode="certify"`` runs the full analyzer —
+    structural plus the master-aware and exact certification passes
+    (E205/W206/I208) against *master* — and raises on any error-level
+    finding: the admission gate for rule programs that must carry the
+    certain-fix guarantee.
     """
     if mode not in PREFLIGHT_MODES:
         raise ValueError(
@@ -195,6 +222,16 @@ def preflight(
         )
     if mode == "off":
         return None
+    if mode == "certify":
+        if master is None:
+            raise ValueError(
+                'preflight mode "certify" needs master data '
+                "(pass master=... through the caller)"
+            )
+        report = run_lint(rules, schema, master, master_schema=master_schema)
+        if report.errors:
+            raise LintError(report, context=context)
+        return report
     report = structural_report(rules, schema, master_schema)
     if mode == "error":
         if report.errors:

@@ -374,6 +374,7 @@ def check_dead_rules(ctx: LintContext) -> List[Diagnostic]:
                 f"add rules that fix {missing}, or match on attributes "
                 f"the program can actually validate"
             ),
+            fixit={"action": "remove_rule", "rule_index": index},
             data={"missing": missing, "start": sorted(start)},
         ))
     return out

@@ -39,6 +39,13 @@ repro_cache_invalidations_total       counter    —                           m
 repro_store_delta_purge_total         counter    —                           version moves resolved by per-key delta purges
 repro_store_full_drop_total           counter    —                           version moves falling back to the full cache drop
 repro_store_probe_seconds             histogram  backend, op=probe|many      ``MasterStore.probe``/``probe_many`` span per backend
+repro_lint_pass_seconds               histogram  code                        one lint pass execution (per diagnostic code)
+repro_lint_budget_exhausted_total     counter    code                        certification budget exhaustions (E205 = the
+                                                                             exact region check degraded to the sampled
+                                                                             fallback, I208 = extension search went
+                                                                             closure-level)
+repro_lint_certify_cache_total        counter    result                      certification cache outcomes (hit, miss,
+                                                                             delta_kept, recompute, full_drop)
 repro_remote_request_seconds          histogram  endpoint                    ``RemoteStore`` HTTP request span (client side)
 repro_remote_requests_total           counter    endpoint, status            ``RemoteStore`` request outcomes (status=ok|error)
 repro_remote_reconnects_total         counter    —                           client connections re-opened

@@ -695,11 +695,14 @@ class BatchRepairEngine:
         ``"keep"`` returns truncated sessions (``completed=False``) in
         place; ``"raise"`` surfaces the first one as :class:`IncompleteFix`.
     preflight:
-        Structural lint gate in front of every precompute (regions, the
-        BDD): ``"error"`` (default) raises
+        Lint gate in front of every precompute (regions, the BDD):
+        ``"error"`` (default) raises
         :class:`~repro.lint.diagnostics.LintError` when the rule program
-        has error-level findings, ``"warn"`` prints findings to stderr and
-        continues, ``"off"`` skips linting entirely.
+        has error-level structural findings, ``"warn"`` prints findings to
+        stderr and continues, ``"off"`` skips linting entirely, and
+        ``"certify"`` additionally runs the exact master-aware
+        certification passes (E205/W206/I208) against the master store —
+        refusing provably inconsistent programs before any repair runs.
     engine_options:
         Forwarded to the underlying :class:`CertainFix` (``max_rounds``,
         ``max_revisions``, ``validate_uniqueness``, ...).
@@ -747,6 +750,7 @@ class BatchRepairEngine:
             rules, schema,
             master_schema=as_master_store(master).schema,
             mode=preflight, context="BatchRepairEngine rule program",
+            master=master,
         )
         self.chunk_size = chunk_size
         self.executor = executor

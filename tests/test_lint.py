@@ -5,7 +5,8 @@ import json
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.patterns import ANY, Const, NotConst, PatternTuple
+from repro.core.patterns import ANY, Const, NotConst, PatternTableau, PatternTuple
+from repro.core.regions import Region
 from repro.core.rules import EditingRule
 from repro.engine.relation import Relation
 from repro.engine.schema import RelationSchema, finite_domain
@@ -219,12 +220,19 @@ def test_w201_zero_support_guarded_rule():
 
 def test_w202_non_confluent_pair_witness():
     # t = (k1=1, k2=2): rule r1 probes k1 -> v=10, rule r2 probes k2 -> v=20.
+    # The all-ANY declared region needs 4 instantiations, so
+    # max_instantiations=1 degrades the exact E205 certification — which is
+    # what re-arms the sampled W202 fallback (E205 subsumes it otherwise).
     schema = RelationSchema("r", ["k1", "k2", "v"])
     master = _master([(1, 9, 10), (8, 2, 20)], schema)
     report = run_lint(
         [_rule("k1", "v", name="r1"), _rule("k2", "v", name="r2")],
         schema,
         master,
+        region=Region(("k1", "k2"), PatternTableau(
+            ("k1", "k2"), [PatternTuple({"k1": ANY, "k2": ANY})]
+        )),
+        max_instantiations=1,
     )
     (finding,) = [d for d in report if d.code == "W202"]
     assert finding.rule == "r2" and finding.data["other_rule"] == "r1"
@@ -331,28 +339,30 @@ def test_at_least_eight_passes_each_with_stable_codes():
     codes = {p.code for p in registered_passes()}
     assert len(codes) >= 8
     assert {"E101", "E102", "W103", "W104", "W105", "W106", "I107", "W108",
-            "W201", "W202", "E203", "W204"} == codes
+            "W201", "W202", "E203", "W204", "E205", "W206", "I208"} == codes
 
 
 # -- golden outputs for the shipped rule sets ---------------------------------
 
 
 def test_golden_hosp_lint(hosp):
+    # The exact certification completes (computed region [id, mCode] is
+    # certain + consistent), so the two sampled W202 witnesses the seed
+    # pinned here are now known to be spurious and stay silent.
     report = run_lint(hosp.rules, hosp.schema, hosp.master)
     assert json.loads(report.to_json())["summary"] == {
         "errors": 0,
-        "warnings": 2,
+        "warnings": 0,
         "infos": 1,
         "rules_linted": 21,
         "passes_run": ["E101", "E102", "W103", "W104", "W105", "W106",
-                       "I107", "W108", "W201", "E203", "W204", "W202"],
+                       "I107", "W108", "W201", "E203", "W204", "W202",
+                       "E205", "W206", "I208"],
         "master_version": hosp.master.mutation_count,
     }
     assert [
         (d.code, d.rule, d.rule_index) for d in report
     ] == [
-        ("W202", "h19:phn,zip->hName", 18),
-        ("W202", "h21:id,zip->addr1", 20),
         ("I107", None, None),
     ]
     (info,) = report.infos
@@ -360,24 +370,39 @@ def test_golden_hosp_lint(hosp):
     assert not report.fails("error")  # the CI gate on the shipped set
 
 
+def test_golden_hosp_lint_degraded_restores_sampled_w202(hosp):
+    # Starving the exact pass of instantiations reports the degradation
+    # (info-level E205) and re-arms the sampled W202 fallback findings.
+    # The all-wildcard declared region needs |dom(id)| * |dom(mCode)|
+    # instantiations; the computed concrete-tableau region would fit in
+    # any budget, hence the explicit declaration.
+    region = Region(("id", "mCode"), PatternTableau(
+        ("id", "mCode"), [PatternTuple({"id": ANY, "mCode": ANY})]
+    ))
+    report = run_lint(hosp.rules, hosp.schema, hosp.master,
+                      region=region, max_instantiations=1)
+    assert [(d.code, d.rule, d.rule_index) for d in report] == [
+        ("W202", "h19:phn,zip->hName", 18),
+        ("W202", "h21:id,zip->addr1", 20),
+        ("E205", None, None),
+        ("I107", None, None),
+    ]
+    (degraded,) = [d for d in report if d.code == "E205"]
+    assert degraded.severity is Severity.INFO
+    assert degraded.data["degraded"] is True
+
+
 def test_golden_dblp_lint(dblp):
+    # All nine seed-era sampled W202 witnesses are subsumed by the exact
+    # certification (computed region is certain + consistent).
     report = run_lint(dblp.rules, dblp.schema, dblp.master)
     summary = json.loads(report.to_json())["summary"]
     assert summary["errors"] == 0
-    assert summary["warnings"] == 10
+    assert summary["warnings"] == 1
     assert summary["infos"] == 1
     assert summary["rules_linted"] == 16
     assert [(d.code, d.rule) for d in report] == [
         ("W105", None),
-        ("W202", "phi6[isbn]"),
-        ("W202", "phi6[publisher]"),
-        ("W202", "phi7[isbn]"),
-        ("W202", "phi7[isbn]"),
-        ("W202", "phi7[publisher]"),
-        ("W202", "phi7[publisher]"),
-        ("W202", "phi7[year]"),
-        ("W202", "phi7[btitle]"),
-        ("W202", "phi7[crossref]"),
         ("I107", None),
     ]
     (cycle,) = [d for d in report if d.code == "W105"]
@@ -390,19 +415,25 @@ def test_golden_dblp_lint(dblp):
 # -- caching and fingerprints -------------------------------------------------
 
 
-def test_master_results_cached_until_version_moves(hosp):
-    store = InMemoryStore(hosp.master)
+def test_master_results_cached_until_version_moves():
+    # A NULL master value keeps a W204 finding alive through the certify
+    # era (hosp/dblp now lint clean, so they no longer exercise sharing).
+    schema = RelationSchema("r", ["k", "v", "w"])
+    relation = _master([(1, NULL, "x"), (2, 5, "y")], schema)
+    store = InMemoryStore(relation)
+    rules = [_rule("k", "v", name="reader")]
     _MASTER_CACHE.pop(store, None)
-    first = run_lint(hosp.rules, hosp.schema, store)
+    first = run_lint(rules, schema, store)
     assert len(_MASTER_CACHE[store]) == 1
-    second = run_lint(hosp.rules, hosp.schema, store)
+    second = run_lint(rules, schema, store)
     assert len(_MASTER_CACHE[store]) == 1  # same key: cache hit
     # Cached Diagnostic objects are shared, not recomputed.
-    first_masters = [d for d in first if d.code.endswith("202")]
-    second_masters = [d for d in second if d.code.endswith("202")]
+    first_masters = [d for d in first if d.code == "W204"]
+    second_masters = [d for d in second if d.code == "W204"]
+    assert first_masters
     assert all(a is b for a, b in zip(first_masters, second_masters))
-    store.insert(hosp.master.first())
-    third = run_lint(hosp.rules, hosp.schema, store)
+    store.insert(relation.first())
+    third = run_lint(rules, schema, store)
     assert len(_MASTER_CACHE[store]) == 2  # version moved: new entry
     assert third.master_version == store.version
 

@@ -29,18 +29,24 @@ def _bad_rules_file(tmp_path):
 
 
 def test_lint_text_default_exit_zero(capsys, hosp_files):
+    # The exact certification clears the seed-era sampled W202 warnings.
     rules_json, master_csv = hosp_files
     assert main(["lint", "--rules", rules_json, "--master", master_csv]) == 0
     out = capsys.readouterr().out
-    assert "W202" in out and "I107" in out
-    assert "0 error(s), 2 warning(s), 1 info(s)" in out
+    assert "W202" not in out and "I107" in out
+    assert "0 error(s), 0 warning(s), 1 info(s)" in out
 
 
-def test_lint_fail_on_warning_exits_one(capsys, hosp_files):
+def test_lint_fail_on_info_exits_one(capsys, hosp_files):
+    # hosp lints down to one I107 info now; the gate still trips on it.
     rules_json, master_csv = hosp_files
     assert main([
         "lint", "--rules", rules_json, "--master", master_csv,
         "--fail-on", "warning",
+    ]) == 0
+    assert main([
+        "lint", "--rules", rules_json, "--master", master_csv,
+        "--fail-on", "info",
     ]) == 1
 
 
@@ -51,9 +57,9 @@ def test_lint_json_is_machine_readable(capsys, hosp_files):
         "--format", "json",
     ]) == 0
     doc = json.loads(capsys.readouterr().out)
-    assert doc["summary"]["warnings"] == 2
-    assert [d["code"] for d in doc["diagnostics"]] == \
-        ["W202", "W202", "I107"]
+    assert doc["summary"]["warnings"] == 0
+    assert [d["code"] for d in doc["diagnostics"]] == ["I107"]
+    assert "E205" in doc["summary"]["passes_run"]
 
 
 def test_lint_sarif_output_file(tmp_path, capsys, hosp_files):
@@ -70,10 +76,28 @@ def test_lint_sarif_output_file(tmp_path, capsys, hosp_files):
     (run,) = sarif["runs"]
     assert run["tool"]["driver"]["name"] == "repro-lint"
     assert {r["id"] for r in run["tool"]["driver"]["rules"]} >= \
-        {"E101", "W202", "I107"}
+        {"E101", "W202", "I107", "E205", "W206", "I208"}
     for result in run["results"]:
         uri = result["locations"][0]["physicalLocation"]
         assert uri["artifactLocation"]["uri"] == rules_json
+
+
+def test_lint_sarif_carries_rule_source_lines(tmp_path, capsys, hosp_files):
+    # Rule-indexed findings point at the physical line of the offending
+    # rule object inside the rules JSON file.
+    _, master_csv = hosp_files
+    rules_json = _bad_rules_file(tmp_path)
+    assert main([
+        "lint", "--rules", rules_json, "--master", master_csv,
+        "--format", "sarif",
+    ]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    (run,) = sarif["runs"]
+    e101 = next(r for r in run["results"] if r["ruleId"] == "E101")
+    physical = e101["locations"][0]["physicalLocation"]
+    start_line = physical["region"]["startLine"]
+    lines = open(rules_json, encoding="utf-8").read().splitlines()
+    assert lines[start_line - 1].lstrip().startswith("{")
 
 
 def test_lint_sqlite_backend_agrees_with_memory(tmp_path, capsys,
@@ -210,6 +234,46 @@ def test_mine_error_findings_block_the_write(tmp_path, capsys, hosp,
     err = capsys.readouterr().err
     assert "E101" in err and "refusing to write" in err
     assert not out_json.exists()
+
+
+def test_lint_fix_applies_and_is_idempotent(tmp_path, capsys, hosp_files):
+    _, master_csv = hosp_files
+    dup = [
+        EditingRule("id", "id", "hName", "hName", PatternTuple({}),
+                    name="a"),
+        EditingRule("id", "id", "hName", "hName", PatternTuple({}),
+                    name="b"),
+    ]
+    rules_json = tmp_path / "dup.json"
+    rules_json.write_text(rule_io.dumps(dup) + "\n")
+    assert main([
+        "lint", "--rules", str(rules_json), "--master", master_csv, "--fix",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fix: applied" in out
+    rules, _, _ = rule_io.load_document(rules_json.read_text())
+    assert len(rules) == 1  # the W103 duplicate was removed
+    # Second run: fixed point already reached, the file must not change.
+    before = rules_json.read_text()
+    assert main([
+        "lint", "--rules", str(rules_json), "--master", master_csv, "--fix",
+    ]) == 0
+    assert "fix: no applyable fix-its" in capsys.readouterr().out
+    assert rules_json.read_text() == before
+
+
+def test_batch_repair_certify_preflight_passes_clean_rules(
+        tmp_path, capsys, hosp, hosp_files):
+    from repro.engine.relation import Relation
+
+    rules_json, master_csv = hosp_files
+    dirty_csv = tmp_path / "dirty.csv"
+    relation_to_csv(Relation(hosp.schema, [hosp.master.first()]), dirty_csv)
+    assert main([
+        "batch-repair", "--rules", rules_json, "--master", master_csv,
+        "--input", str(dirty_csv), "--clean", str(dirty_csv),
+        "--preflight", "certify",
+    ]) == 0
 
 
 def test_batch_repair_preflight_gate(tmp_path, capsys, hosp, hosp_files):
