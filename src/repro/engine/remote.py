@@ -72,6 +72,8 @@ from repro.engine.store import (
     MasterStore,
     StoreDelta,
     StoreDetachedError,
+    StoreError,
+    StoreProtocolError,
     StoreUnavailableError,
     _decode,
     _encode,
@@ -90,6 +92,23 @@ VERSION_HEADER = "X-Master-Version"
 
 def _encode_values(values: Iterable) -> list:
     return [_encode(v) for v in values]
+
+
+def _wire_key(key: tuple):
+    """Encode a probe key for the wire, or ``None`` when unstorable.
+
+    The single chokepoint for the unstorable-key rule on *both* probe
+    paths (singular and batched): a key holding a value the codec
+    refuses (an engine-internal placeholder, say) can never equal a
+    stored master cell, so it resolves to "no match" locally — and must
+    never enter the LRU, because no server ever vouched for the verdict.
+    Keeping the rule in one helper is what stops the two paths from
+    drifting apart again.
+    """
+    try:
+        return _encode_values(key)
+    except TypeError:
+        return None
 
 
 def _decode_row(schema: RelationSchema, cells: list) -> Row:
@@ -275,6 +294,12 @@ class _MasterRequestHandler(BaseHTTPRequestHandler):
             # these as ValueError with the server's message.
             self._fail(400, str(exc))
             return
+        except StoreError as exc:
+            # The server's own backing store failed (or lied — see the
+            # /probe_many strict accounting): the fault is on this side
+            # of the wire, so answer 500, not 400.
+            self._fail(500, str(exc))
+            return
         self._reply(result, version=version)
 
     # -- GET routes ----------------------------------------------------------
@@ -407,8 +432,23 @@ class _MasterRequestHandler(BaseHTTPRequestHandler):
         attrs = tuple(payload["attrs"])
         keys = [self._decode_key(k) for k in payload["keys"]]
         out = self.server.store.probe_many(attrs, keys)
+        # Strict accounting before anything goes on the wire: the backing
+        # store must answer exactly the requested key set — a lying store
+        # fails the exchange loudly (HTTP 500) instead of shipping a
+        # response the client would have to zip-truncate.
+        missing = [key for key in keys if key not in out]
+        if missing:
+            raise StoreProtocolError(
+                f"backing {type(self.server.store).__name__}.probe_many "
+                f"answered {len(out)} keys for {len(set(keys))} requested "
+                f"({len(missing)} unanswered, e.g. {missing[0]!r}); "
+                f"refusing to serve a truncated /probe_many response"
+            )
         # Aligned with request order; duplicates collapse server-side too.
+        # The count echo lets clients cross-check the pairing even when a
+        # middlebox rewrites the results array length.
         return {
+            "count": len(keys),
             "results": [
                 [_encode_values(r.values) for r in out[key]] for key in keys
             ],
@@ -947,10 +987,9 @@ class RemoteStore(MasterStore):
             cached = self._probe_cache.get(cache_key)
             if cached is not None:
                 return cached
-        try:
-            encoded = _encode_values(key)
-        except TypeError:
-            return ()  # unstorable value (e.g. FreshValue) matches nothing
+        encoded = _wire_key(key)
+        if encoded is None:
+            return ()  # unstorable value matches nothing; never cached
         payload, observed = self._request(
             "POST", "/probe", {"attrs": list(attrs), "key": encoded}
         )
@@ -995,17 +1034,32 @@ class RemoteStore(MasterStore):
                     out[key] = cached
                     continue
                 out[key] = ()  # filled below when rows come back
-                try:
-                    pending.append((key, _encode_values(key)))
-                except TypeError:
-                    pass  # unstorable key matches nothing; stays ()
+                encoded = _wire_key(key)
+                if encoded is not None:
+                    pending.append((key, encoded))
+                # else: unstorable key matches nothing; stays (), uncached
         if not pending:
             return out
         payload, observed = self._request(
             "POST", "/probe_many",
             {"attrs": list(attrs), "keys": [enc for _, enc in pending]},
         )
-        for (key, _), cells_list in zip(pending, payload["results"]):
+        results = payload["results"]
+        echoed = payload.get("count", len(results))
+        if len(results) != len(pending) or echoed != len(pending):
+            # NEVER zip-truncate: a short (or padded) reply silently
+            # resolved — and LRU-cached — the unpaired keys as "no
+            # match", corrupting fixes.  Nothing from this response may
+            # be returned or cached.
+            raise StoreProtocolError(
+                f"{self._url}/probe_many answered {len(results)} result "
+                f"lists (count echo {echoed}) for {len(pending)} probe "
+                f"keys; refusing to pair them up — no result was cached "
+                f"or resolved.  The server and client disagree about the "
+                f"request: check for a proxy mangling request bodies or "
+                f"a server/client version skew"
+            )
+        for (key, _), cells_list in zip(pending, results):
             rows = tuple(
                 _decode_row(self._schema, cells) for cells in cells_list
             )

@@ -1,0 +1,870 @@
+"""Sharded master data: hash-partitioned ``Dm`` behind scatter-gather probes.
+
+A master relation with hundreds of millions of tuples does not fit one
+``serve-master`` process; ROADMAP Open item 1 calls for a *fleet*.  This
+module supplies the coordinator: :class:`ShardedStore` is a full
+:class:`~repro.engine.store.MasterStore` that hash-partitions the master
+rows across N backend stores — typically
+:class:`~repro.engine.remote.RemoteStore` clients against N
+``serve-master --shard i/N`` processes, though any mix of backends with
+one schema works — and answers every probe by routing or scatter-gather.
+The repair engines see one ordinary store; the fleet is invisible.
+
+Key routing
+-----------
+Every row lives on exactly one shard, chosen by a **stable** hash of its
+routing key (Python's own ``hash()`` is salted per process and would
+scatter the same row differently in every worker):
+
+====================  =======================================================
+quantity              definition
+====================  =======================================================
+routing attributes    ``route_attrs`` (default: the schema's first
+                      attribute); every shard and every client must agree
+routing key of a row  ``row[route_attrs]``
+wire form             each value through the tagged codec
+                      :func:`repro.engine.store._encode`, joined with
+                      ``"\\x1f"`` (unit separator), UTF-8 encoded
+shard index           ``zlib.crc32(wire form) % n_shards``
+unstorable values     a routing key the codec refuses cannot be stored on
+                      any shard: probes resolve to "no match" locally,
+                      ``insert`` raises ``TypeError``
+====================  =======================================================
+
+The codec reproduces Python's equality semantics (``2 == 2.0 == True``
+encode identically, ``87`` never collides with ``"87"``), so routing
+agrees with the hash-bucket semantics every backend probes by.
+
+A probe ``(attrs, key)`` whose attribute list covers every routing
+attribute is **routable**: all rows it could match share one routing key,
+so exactly one shard is asked and shard-local result order *is* global
+insertion order.  Any other probe **broadcasts** to all shards and the
+per-shard results concatenate in shard order.  Choose ``route_attrs`` as
+(a subset of) the rule keys so the repair hot path stays single-shard.
+
+Scatter-gather protocol
+-----------------------
+``probe_many`` buckets its keys per shard (broadcast keys go to every
+bucket), fans the buckets out concurrently on a thread pool, and
+**strictly reconciles** each shard's answer before merging: a shard must
+echo exactly the key set it was asked — anything else raises
+:class:`~repro.engine.store.StoreProtocolError` and nothing is merged.
+This is the ``RemoteStore`` ``/probe_many`` count-validation bugfix
+generalized: once partial responses are a routine failure mode, silent
+truncation anywhere in the fan-out corrupts fixes.
+
+Failures & health
+-----------------
+Per-shard health is tracked (consecutive/total failures, retries, last
+error; see :meth:`ShardedStore.shard_info`).  Idempotent reads retry with
+exponential backoff up to ``retries`` times; mutations are never replayed
+by the coordinator (the shard backend already replays the provably-unsent
+cases — an ``/insert`` replay could double-insert).  When a shard stays
+down the coordinator raises :class:`ShardUnavailableError` carrying the
+shard index and the probe keys whose answers are now **undecidable** —
+never a silent ``()``.
+
+Versioning & deltas
+-------------------
+The composite version is the sum of the shard versions (the shard-version
+vector collapsed to its L1 norm): every single-shard mutation moves it by
+exactly 1, so the repair layer's version-stamped caches behave exactly as
+over one store.  ``deltas_since`` merges the per-shard journals into one
+composite-stamped journal and returns ``None`` on any gap — preserving
+the unconditional full-drop fallback.  Mutations made *directly* on a
+shard (not through this coordinator) are folded in on the next
+reconciliation, ordered shard-major within one reconcile step.
+
+Iteration order
+---------------
+With ``track_order=True`` (the default) the coordinator keeps a layout
+(one shard index per row, global insertion order) plus a per-shard mirror
+of row values, so ``iter``/``iter_from`` reproduce exact global insertion
+order across the fleet — including through deletes replayed from shard
+journals.  The mirror costs one value tuple per master row in the
+coordinator; fleets too large for that pass ``track_order=False`` and get
+the deterministic shard-major order instead (equal rows co-locate, so
+repair semantics are unaffected either way).  A journal gap degrades
+order tracking to shard-major until the next ``reset_rows``.
+
+Telemetry (see the :mod:`repro.obs` metric table): per-shard scatter-leg
+latency ``repro_shard_probe_seconds{shard=..}``, fan-out width
+``repro_shard_fanout_width``, and ``repro_shard_retries_total`` /
+``repro_shard_failures_total``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro import obs
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+from repro.engine.store import (
+    DEFAULT_DELTA_WINDOW,
+    MasterStore,
+    StoreProtocolError,
+    StoreUnavailableError,
+    _DeltaJournal,
+    _encode,
+)
+from repro.engine.tuples import Row
+
+
+class ShardUnavailableError(StoreUnavailableError):
+    """One shard of a :class:`ShardedStore` stayed down through retries.
+
+    Carries which shard failed (``.shard``) and, for probe paths, the
+    probe keys whose answers are now undecidable (``.keys``) — the
+    coordinator never resolves an unanswerable key as "no match".
+    """
+
+    def __init__(self, message: str, shard: int, keys: Iterable = ()):
+        super().__init__(message)
+        self.shard = shard
+        self.keys = tuple(keys)
+
+
+@dataclass
+class ShardHealth:
+    """Mutable per-shard failure accounting (see ``shard_info()``)."""
+
+    failures: int = 0        # consecutive, reset on any success
+    total_failures: int = 0
+    retries: int = 0
+    last_error: str = None
+
+    def as_dict(self) -> dict:
+        return {
+            "failures": self.failures,
+            "total_failures": self.total_failures,
+            "retries": self.retries,
+            "last_error": self.last_error,
+        }
+
+
+def shard_of(values: Iterable, n_shards: int):
+    """The owning shard of a routing-key value tuple, or ``None``.
+
+    ``None`` when any value is unstorable under the wire codec — such a
+    key can never equal a stored master cell on any shard.
+    """
+    try:
+        blob = "\x1f".join(_encode(v) for v in values).encode("utf-8")
+    except TypeError:
+        return None
+    return zlib.crc32(blob) % n_shards
+
+
+class ShardedStore(MasterStore):
+    """Hash-partitioned master data across N backend stores.
+
+    Parameters
+    ----------
+    shards:
+        The backend stores (>= 1), all over the same schema.  Pre-loaded
+        shards are adopted as-is; rows must already sit on their hash
+        shard (the ``serve-master --shard i/N`` filter guarantees it).
+    route_attrs:
+        The routing attributes (default: the schema's first attribute).
+        Every coordinator of the same fleet must agree, and must match
+        whatever partitioned pre-loaded shards.
+    rows:
+        Seed rows, routed and inserted through the coordinator.
+    track_order:
+        Keep exact global insertion order across the fleet (costs one
+        value-tuple mirror per row in this coordinator; see the module
+        docstring).  ``False`` iterates shard-major.
+    retries / backoff / max_backoff:
+        Bounded-retry policy for idempotent shard calls: up to *retries*
+        replays, sleeping ``backoff * 2**attempt`` (capped at
+        *max_backoff*) between attempts.
+    """
+
+    #: Scatter-gather amortizes per-shard round-trips exactly like the
+    #: remote client's batched probes do.
+    supports_batched_probes = True
+
+    def __init__(
+        self,
+        shards: Iterable,
+        route_attrs: Iterable = None,
+        *,
+        rows: Iterable = (),
+        track_order: bool = True,
+        delta_window: int = DEFAULT_DELTA_WINDOW,
+        retries: int = 3,
+        backoff: float = 0.25,
+        max_backoff: float = 2.0,
+    ):
+        self._shards = tuple(shards)
+        if not self._shards:
+            raise ValueError("ShardedStore needs at least one shard")
+        schema = self._shards[0].schema
+        for shard in self._shards[1:]:
+            if shard.schema.attributes != schema.attributes:
+                raise ValueError(
+                    f"shard schemas disagree: {schema.attributes} vs "
+                    f"{shard.schema.attributes}"
+                )
+        self._schema = schema
+        if route_attrs is None:
+            route_attrs = (schema.attributes[0],)
+        self._route_attrs = tuple(route_attrs)
+        if not self._route_attrs:
+            raise ValueError("route_attrs must name at least one attribute")
+        self._route_pos = [schema.index_of(a) for a in self._route_attrs]
+        self._retries = retries
+        self._backoff = backoff
+        self._max_backoff = max_backoff
+        self._lock = threading.RLock()
+        self._pool = None
+        self._closed = False
+        self.health = tuple(ShardHealth() for _ in self._shards)
+        self.probe_ref_calls = 0
+        self.fanouts = 0          # scatter-gather dispatches
+        self.broadcast_probes = 0  # probes that could not be routed
+        # Version/journal state: composite = sum of shard versions; the
+        # journal re-stamps per-shard deltas onto the composite stream.
+        self._seen = [shard.version for shard in self._shards]
+        self._composite = sum(self._seen)
+        self._journal = _DeltaJournal(delta_window)
+        self._journal.reset(self._composite)
+        # Order state (see the module docstring): _layout is one shard
+        # index per row in global insertion order, _mirror[i] the value
+        # tuples of shard i in its local order.  Both None when order
+        # tracking is off or has degraded (journal gap).
+        self._layout = None
+        self._mirror = None
+        if track_order:
+            self._layout = []
+            self._mirror = []
+            for index, shard in enumerate(self._shards):
+                local = [tuple(row.values) for row in shard]
+                self._mirror.append(local)
+                self._layout.extend([index] * len(local))
+        for row in rows:
+            self.insert(row)
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple:
+        return self._shards
+
+    @property
+    def route_attrs(self) -> tuple:
+        return self._route_attrs
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def shares_storage_across_processes(self) -> bool:  # type: ignore[override]
+        return all(
+            shard.shares_storage_across_processes for shard in self._shards
+        )
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=len(self._shards),
+                    thread_name_prefix="shard-probe",
+                )
+            return self._pool
+
+    def _route_row(self, row: Row):
+        return shard_of(
+            (row.values[p] for p in self._route_pos), len(self._shards)
+        )
+
+    def _probe_route(self, attrs: tuple):
+        """Positions of the routing attributes inside a probe attribute
+        list, or ``None`` when the probe does not cover them (broadcast)."""
+        positions = []
+        for name in self._route_attrs:
+            try:
+                positions.append(attrs.index(name))
+            except ValueError:
+                return None
+        return positions
+
+    def _check_key(self, attrs: tuple, key) -> tuple:
+        key = tuple(key)
+        if len(attrs) != len(key):
+            raise ValueError(
+                f"probe key {key} does not match attribute list {attrs}"
+            )
+        return key
+
+    def _call(self, index: int, method: str, args: tuple,
+              idempotent: bool = True, keys: Iterable = ()):
+        """One shard call under the bounded-retry/health policy.
+
+        Mutations (*idempotent* False) are never replayed here: the shard
+        backend itself replays the provably-unsent cases, and a blind
+        coordinator replay could double-apply.
+        """
+        shard = self._shards[index]
+        health = self.health[index]
+        attempts = (self._retries + 1) if idempotent else 1
+        delay = self._backoff
+        for attempt in range(attempts):
+            try:
+                result = getattr(shard, method)(*args)
+            except StoreUnavailableError as exc:
+                health.failures += 1
+                health.total_failures += 1
+                health.last_error = str(exc)
+                obs.inc("repro_shard_failures_total", shard=str(index))
+                if attempt + 1 >= attempts:
+                    raise ShardUnavailableError(
+                        f"shard {index}/{len(self._shards)} "
+                        f"({type(shard).__name__}) is unavailable after "
+                        f"{attempt + 1} attempt(s) on {method}: {exc}",
+                        shard=index,
+                        keys=keys,
+                    ) from exc
+                health.retries += 1
+                obs.inc("repro_shard_retries_total", shard=str(index))
+                time.sleep(min(delay, self._max_backoff))
+                delay *= 2
+            else:
+                health.failures = 0
+                return result
+
+    def _timed_call(self, index: int, method: str, args: tuple,
+                    keys: Iterable = ()):
+        with obs.time_block("repro_shard_probe_seconds", shard=str(index)):
+            return self._call(index, method, args, keys=keys)
+
+    # -- version / journal reconciliation ------------------------------------
+
+    def _reconcile_locked(self) -> None:
+        """Fold every shard's new deltas into the composite journal.
+
+        Caller holds ``self._lock``.  A shard whose journal cannot vouch
+        for its own movement gaps the composite journal too (consumers
+        full-drop) and degrades order tracking: the unwitnessed mutations
+        may include deletes at unknowable positions.
+        """
+        gapped = False
+        for index, shard in enumerate(self._shards):
+            current = shard.version
+            seen = self._seen[index]
+            if current == seen:
+                continue
+            deltas = shard.deltas_since(seen) if current > seen else None
+            if deltas is None or len(deltas) != current - seen:
+                gapped = True
+                self._composite += current - seen
+                self._seen[index] = current
+                continue
+            for delta in deltas:
+                self._composite += 1
+                self._journal.record(
+                    self._composite, delta.op, delta.values
+                )
+                self._apply_order(index, delta.op, delta.values)
+            self._seen[index] = current
+        if gapped:
+            self._journal.reset(self._composite)
+            self._layout = None
+            self._mirror = None
+
+    def _apply_order(self, index: int, op: str, values: tuple) -> None:
+        """Maintain layout + mirror for one witnessed shard mutation."""
+        if self._layout is None:
+            return
+        values = tuple(values)
+        if op == "insert":
+            # The shard appended at its end; globally the row is the
+            # newest (exact for coordinator mutations, reconciliation
+            # order for foreign ones).
+            self._mirror[index].append(values)
+            self._layout.append(index)
+            return
+        # Every backend's delete removes the shard's *first* occurrence
+        # equal to the row; the mirror knows which local position that
+        # was, and the matching layout slot is that occurrence of the
+        # shard index.
+        local = None
+        for position, candidate in enumerate(self._mirror[index]):
+            if candidate == values:
+                local = position
+                break
+        if local is None:
+            # A delete the mirror cannot place: state diverged.
+            self._layout = None
+            self._mirror = None
+            return
+        del self._mirror[index][local]
+        occurrence = -1
+        for position, shard_index in enumerate(self._layout):
+            if shard_index == index:
+                occurrence += 1
+                if occurrence == local:
+                    del self._layout[position]
+                    return
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            self._reconcile_locked()
+            return self._composite
+
+    def deltas_since(self, version: int):
+        with self._lock:
+            self._reconcile_locked()
+            return self._journal.since(version, self._composite)
+
+    def adopt_deltas(self, deltas, version: int) -> bool:
+        if deltas is None:
+            return False
+        with self._lock:
+            if self.shares_storage_across_processes:
+                # The rows already moved shard-side (shared storage);
+                # adopting means observing, as for RemoteStore.
+                self.sync_version(version)
+                return self._composite >= version
+            self._reconcile_locked()
+            deltas = tuple(deltas)
+            if len(deltas) != version - self._composite:
+                return False
+            for offset, delta in enumerate(deltas):
+                if delta.version != self._composite + 1 + offset:
+                    return False
+            for delta in deltas:
+                row = Row(self._schema, delta.values)
+                if delta.op == "insert":
+                    self.insert(row)
+                elif delta.op == "delete":
+                    if not self.delete(row):
+                        return False
+                else:
+                    return False
+            return self._composite == version
+
+    def sync_version(self, version: int) -> None:
+        """Observe shard-side movement (process-pool resync hook).
+
+        The composite cannot be split back into per-shard stamps, so the
+        coordinator polls each shard that can be polled and reconciles;
+        with shared-storage shards the fleet is the source of truth and
+        the composite lands at (or past) the parent's stamp.
+        """
+        for index in range(len(self._shards)):
+            poll = getattr(self._shards[index], "poll_version", None)
+            if poll is not None:
+                self._call(index, "poll_version", ())
+        with self._lock:
+            self._reconcile_locked()
+
+    def reset_rows(self, rows: Iterable, version: int) -> None:
+        """Replace the fleet's contents and land on the parent's stamp.
+
+        The snapshot half of the process resync protocol: rows re-route
+        by hash, and *version* splits deterministically across the shard
+        stamps (``version // n`` each, remainder on the lowest indexes)
+        so every worker lands on identical shard-version vectors.
+        Requires shards with a ``reset_rows`` of their own (the in-memory
+        backend; shared-storage fleets resync through the storage).
+        """
+        partitions = [[] for _ in self._shards]
+        layout = []
+        for row in rows:
+            row = self._coerce(row)
+            target = self._route_row(row)
+            if target is None:
+                raise TypeError(
+                    f"row {tuple(row.values)!r} has an unstorable routing "
+                    f"key over {self._route_attrs} and cannot be placed on "
+                    f"any shard"
+                )
+            partitions[target].append(row)
+            layout.append(target)
+        with self._lock:
+            count = len(self._shards)
+            base, remainder = divmod(version, count)
+            stamps = [
+                base + (1 if index < remainder else 0)
+                for index in range(count)
+            ]
+            for index, shard in enumerate(self._shards):
+                shard.reset_rows(partitions[index], stamps[index])
+            self._seen = stamps
+            self._composite = version
+            self._journal.reset(version)
+            self._layout = layout
+            self._mirror = [
+                [tuple(row.values) for row in partition]
+                for partition in partitions
+            ]
+
+    # -- reads ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(
+            self._call(index, "__len__", ())
+            for index in range(len(self._shards))
+        )
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.iter_from(0)
+
+    def iter_from(self, start: int) -> Iterator[Row]:
+        with self._lock:
+            self._reconcile_locked()
+            layout = None if self._layout is None else tuple(self._layout)
+        start = max(start, 0)
+        if layout is None:
+            # Deterministic fallback: shards in index order, each in its
+            # own insertion order.
+            merged = itertools.chain.from_iterable(self._shards)
+            return itertools.islice(merged, start, None)
+        offsets = [0] * len(self._shards)
+        for shard_index in layout[:start]:
+            offsets[shard_index] += 1
+        iterators = [
+            shard.iter_from(offsets[index])
+            for index, shard in enumerate(self._shards)
+        ]
+
+        def merge() -> Iterator[Row]:
+            for shard_index in layout[start:]:
+                yield next(iterators[shard_index])
+
+        return merge()
+
+    def ensure_index(self, attrs: Iterable) -> None:
+        attrs = tuple(attrs)
+        for index in range(len(self._shards)):
+            self._call(index, "ensure_index", (attrs,))
+
+    def active_values(self, attr: str) -> set:
+        values: set = set()
+        for index in range(len(self._shards)):
+            values |= set(self._call(index, "active_values", (attr,)))
+        return values
+
+    def probe(self, attrs: Iterable, key) -> tuple:
+        with obs.time_block(
+            "repro_store_probe_seconds", backend="sharded", op="probe"
+        ):
+            return self._probe_impl(attrs, key)
+
+    def probe_ref(self, attrs: Iterable, key) -> tuple:
+        self.probe_ref_calls += 1
+        return self._probe_impl(attrs, key)
+
+    def _probe_impl(self, attrs: Iterable, key) -> tuple:
+        attrs = tuple(attrs)
+        key = self._check_key(attrs, key)
+        positions = self._probe_route(attrs)
+        if positions is not None:
+            target = shard_of(
+                (key[p] for p in positions), len(self._shards)
+            )
+            if target is None:
+                return ()  # unstorable routing value matches nothing
+            return tuple(self._timed_call(
+                target, "probe", (attrs, key), keys=(key,)
+            ))
+        self.broadcast_probes += 1
+        parts = self._scatter(
+            [(index, "probe", (attrs, key), (key,))
+             for index in range(len(self._shards))]
+        )
+        return tuple(itertools.chain.from_iterable(parts))
+
+    def probe_many(self, attrs: Iterable, keys: Iterable) -> dict:
+        with obs.time_block(
+            "repro_store_probe_seconds", backend="sharded", op="many"
+        ):
+            return self._probe_many_impl(attrs, keys)
+
+    def _probe_many_impl(self, attrs: Iterable, keys: Iterable) -> dict:
+        attrs = tuple(attrs)
+        positions = self._probe_route(attrs)
+        out: dict = {}
+        buckets: dict = {}       # shard index -> [routable keys]
+        broadcast: list = []     # keys every shard must answer
+        for key in keys:
+            key = self._check_key(attrs, key)
+            if key in out:
+                continue
+            out[key] = ()
+            if positions is None:
+                broadcast.append(key)
+                continue
+            target = shard_of((key[p] for p in positions),
+                              len(self._shards))
+            if target is None:
+                continue  # unstorable key matches nothing; stays ()
+            buckets.setdefault(target, []).append(key)
+        if broadcast:
+            self.broadcast_probes += 1
+            for index in range(len(self._shards)):
+                buckets.setdefault(index, [])
+        tasks = [
+            (index, "probe_many", (attrs, routed + broadcast),
+             routed + broadcast)
+            for index, routed in sorted(buckets.items())
+        ]
+        if not tasks:
+            return out
+        answers = dict(zip(
+            [task[0] for task in tasks], self._scatter(tasks)
+        ))
+        for index, _, _, shard_keys in tasks:
+            answer = answers[index]
+            # Strict reconciliation, the truncation bugfix generalized:
+            # a shard must echo exactly the key set it was asked.
+            if set(answer) != set(shard_keys):
+                unanswered = [k for k in shard_keys if k not in answer]
+                raise StoreProtocolError(
+                    f"shard {index}/{len(self._shards)} answered "
+                    f"{len(answer)} keys for {len(set(shard_keys))} "
+                    f"asked in probe_many ({len(unanswered)} unanswered"
+                    + (f", e.g. {unanswered[0]!r}" if unanswered else
+                       "; extra keys present")
+                    + "); refusing to merge a mismatched scatter response"
+                )
+        for index, routed in sorted(buckets.items()):
+            for key in routed:
+                out[key] = answers[index][key]
+        for key in broadcast:
+            out[key] = tuple(itertools.chain.from_iterable(
+                answers[index][key] for index in range(len(self._shards))
+            ))
+        return out
+
+    def _scatter(self, tasks: list) -> list:
+        """Run ``(index, method, args, keys)`` shard calls concurrently.
+
+        Results come back in task order.  Every future is drained before
+        any failure propagates (no call left running against a store the
+        caller may immediately close); the first failing shard's error
+        wins.
+        """
+        self.fanouts += 1
+        obs.observe("repro_shard_fanout_width", float(len(tasks)))
+        if len(tasks) == 1:
+            index, method, args, keys = tasks[0]
+            return [self._timed_call(index, method, args, keys=keys)]
+        pool = self._executor()
+        futures = [
+            pool.submit(self._timed_call, index, method, args, keys=keys)
+            for index, method, args, keys in tasks
+        ]
+        results, first_error = [], None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 — re-raised below
+                results.append(None)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- mutation ------------------------------------------------------------
+
+    def _coerce(self, row) -> Row:
+        if isinstance(row, Row):
+            return row
+        return Row(self._schema, row)
+
+    def insert(self, row) -> None:
+        row = self._coerce(row)
+        target = self._route_row(row)
+        if target is None:
+            raise TypeError(
+                f"row {tuple(row.values)!r} has an unstorable routing key "
+                f"over {self._route_attrs} and cannot be placed on any "
+                f"shard"
+            )
+        with self._lock:
+            self._reconcile_locked()
+            self._call(target, "insert", (row,), idempotent=False)
+            self._reconcile_locked()
+
+    def delete(self, row) -> bool:
+        row = self._coerce(row)
+        target = self._route_row(row)
+        if target is None:
+            return False  # never stored, nothing to delete
+        with self._lock:
+            self._reconcile_locked()
+            deleted = self._call(target, "delete", (row,),
+                                 idempotent=False)
+            self._reconcile_locked()
+            return bool(deleted)
+
+    # -- process-boundary protocol -------------------------------------------
+
+    def detach(self) -> "ShardedStoreHandle":
+        """Per-shard handles plus the routing/order state, picklable."""
+        with self._lock:
+            self._reconcile_locked()
+            return ShardedStoreHandle(
+                handles=tuple(
+                    shard.detach() for shard in self._shards
+                ),
+                route_attrs=self._route_attrs,
+                delta_window=self._journal.window,
+                retries=self._retries,
+                backoff=self._backoff,
+                max_backoff=self._max_backoff,
+                version=self._composite,
+                layout=(
+                    None if self._layout is None else tuple(self._layout)
+                ),
+            )
+
+    def close(self) -> None:
+        """Shut the scatter pool down and close every closeable shard."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for shard in self._shards:
+            close = getattr(shard, "close", None)
+            if close is not None:
+                close()
+
+    # -- introspection -------------------------------------------------------
+
+    def shard_info(self) -> dict:
+        """Fleet accounting: routing, fan-out counters, per-shard health."""
+        return {
+            "shards": len(self._shards),
+            "route_attrs": list(self._route_attrs),
+            "fanouts": self.fanouts,
+            "broadcast_probes": self.broadcast_probes,
+            "health": [h.as_dict() for h in self.health],
+        }
+
+    def connection_info(self) -> dict:
+        """Per-shard transport accounting (the CLI report hook).
+
+        Mirrors :meth:`RemoteStore.connection_info` one level up: the
+        fleet summary plus each shard's own connection info when the
+        backend keeps any.
+        """
+        info = self.shard_info()
+        info["version"] = self._composite
+        info["per_shard"] = [
+            shard.connection_info()
+            if hasattr(shard, "connection_info") else None
+            for shard in self._shards
+        ]
+        return info
+
+    def probe_cache_info(self) -> dict:
+        """Summed per-shard LRU accounting (benchmark-layer shape)."""
+        info = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0,
+                "evictions": 0, "purged": 0}
+        for shard in self._shards:
+            shard_info = getattr(shard, "probe_cache_info", None)
+            if shard_info is None:
+                continue
+            for key, value in shard_info().items():
+                if key in info:
+                    info[key] += value
+        info["probe_ref_calls"] = self.probe_ref_calls
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedStore({self._schema.name!r}, "
+            f"{len(self._shards)} shards by {self._route_attrs}, "
+            f"version={self._composite})"
+        )
+
+
+@dataclass(frozen=True)
+class ShardedStoreHandle:
+    """Picklable reference to a :class:`ShardedStore` (process hops)."""
+
+    handles: tuple
+    route_attrs: tuple
+    delta_window: int
+    retries: int
+    backoff: float
+    max_backoff: float
+    version: int
+    layout: tuple
+
+    def reattach(self) -> ShardedStore:
+        """Rebuild the coordinator over reattached shards.
+
+        Snapshot shards (memory) reattach at their detach-time stamps, so
+        the composite lands exactly on ``version``; shared-storage shards
+        (remote, sqlite-file) may already be newer — the store reconciles
+        forward on first use, exactly like a reattached single store.
+        The shipped layout restores exact global iteration order when the
+        reattached shard contents still line up with it.
+        """
+        store = ShardedStore(
+            tuple(handle.reattach() for handle in self.handles),
+            route_attrs=self.route_attrs,
+            track_order=self.layout is not None,
+            delta_window=self.delta_window,
+            retries=self.retries,
+            backoff=self.backoff,
+            max_backoff=self.max_backoff,
+        )
+        if self.layout is not None and store._layout is not None \
+                and len(self.layout) == len(store._layout):
+            store._layout = list(self.layout)
+        return store
+
+
+def reshard(
+    source,
+    destinations: Iterable,
+    route_attrs: Iterable = None,
+) -> ShardedStore:
+    """Offline rebalance: rehash every row of *source* into *destinations*.
+
+    *source* is a :class:`ShardedStore` (its global iteration order is
+    preserved), any other :class:`MasterStore`, a
+    :class:`~repro.engine.relation.Relation`, or a plain row iterable;
+    *destinations* are **empty** stores over the same schema — split a
+    fleet by handing more of them, merge it by handing fewer (one
+    destination collapses the fleet back into a single store behind a
+    trivial coordinator).  Returns the coordinator over the new fleet.
+
+    Offline means what it says: run it while no client mutates the
+    source; rows stream through this process once.
+    """
+    destinations = tuple(destinations)
+    for destination in destinations:
+        if len(destination) != 0:
+            raise ValueError(
+                "reshard destinations must be empty stores (got "
+                f"{destination!r})"
+            )
+    if route_attrs is None and isinstance(source, ShardedStore):
+        route_attrs = source.route_attrs
+    coordinator = ShardedStore(destinations, route_attrs=route_attrs)
+    if isinstance(source, MasterStore):
+        rows: Iterable = iter(source)
+    elif isinstance(source, Relation):
+        rows = source.iter_rows()
+    else:
+        rows = source
+    for row in rows:
+        coordinator.insert(row)
+    return coordinator

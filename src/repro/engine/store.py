@@ -111,6 +111,20 @@ class StoreUnavailableError(StoreError):
     """
 
 
+class StoreProtocolError(StoreError):
+    """A backend answered, but the answer violates the store protocol.
+
+    Raised when a response cannot be reconciled with the request that
+    produced it — e.g. a ``probe_many`` reply carrying fewer (or more)
+    result lists than probe keys sent, or results keyed on keys that were
+    never asked for.  A short reply used to be silently ``zip``-truncated
+    and the missing keys resolved (and cached!) as "no match", corrupting
+    fixes; the typed error makes the lying backend loud instead, and
+    nothing from such a response may land in any cache.  The message
+    names both counts and the offending endpoint/backend.
+    """
+
+
 #: Default journal window: how many of the latest mutations a backend
 #: keeps as deltas before a lagging consumer must pay a full cache drop.
 DEFAULT_DELTA_WINDOW = 256

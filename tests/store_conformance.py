@@ -39,7 +39,11 @@ contract tests for free::
 import pytest
 
 from repro.engine.schema import INT, RelationSchema
-from repro.engine.store import DEFAULT_DELTA_WINDOW, MasterStore
+from repro.engine.store import (
+    DEFAULT_DELTA_WINDOW,
+    MasterStore,
+    StoreProtocolError,
+)
 from repro.engine.tuples import Row
 from repro.engine.values import NULL
 
@@ -99,6 +103,15 @@ class StoreConformance:
         close = getattr(clone, "close", None)
         if close is not None:
             close()
+
+    def lie_probe_many(self, store: MasterStore, skew: int):
+        """A context manager making the backend's lower layer answer
+        ``skew`` more (+1) or fewer (-1) ``probe_many`` results than
+        probe keys asked.  Return ``None`` (the default) when the backend
+        has no lower layer that could lie — single-process stores answer
+        from their own truth and the test skips.
+        """
+        return None
 
     # -- reads ---------------------------------------------------------------
 
@@ -203,6 +216,51 @@ class StoreConformance:
         }
         dup = store.probe_many(("k", "k"), [("a", "a"), ("a", "b")])
         assert dup == {("a", "a"): (rows[0], rows[2]), ("a", "b"): ()}
+
+    def test_probe_many_unstorable_keys_match_probe_loop(self, store):
+        """Unstorable probe keys (values the wire codec refuses) resolve
+        as "matches nothing" identically on the singular and batched
+        paths, and never out of a cache — both answers must keep coming
+        from the same helper so the semantics cannot drift."""
+        rows = self.rows()
+        attrs = ("k",)
+        keys = [("a",), (object(),), ("b",)]
+        via_many = store.probe_many(attrs, keys)
+        via_loop = {key: store.probe(attrs, key) for key in keys}
+        assert via_many == via_loop
+        assert via_many[keys[1]] == ()
+        assert via_many[("a",)] == (rows[0], rows[2])
+        # a second round answers identically (nothing poisoned a cache)
+        assert store.probe_many(attrs, keys) == via_loop
+
+    @pytest.mark.parametrize("skew", [-1, 1], ids=["fewer", "more"])
+    def test_lying_probe_many_raises_typed_error_caches_nothing(
+        self, store, skew
+    ):
+        """A lower layer answering more/fewer ``probe_many`` results than
+        keys asked must raise the typed protocol error — never silently
+        pair up what it got — and nothing from the lying exchange may
+        land in any cache (the zip-truncation bug class)."""
+        lie = self.lie_probe_many(store, skew)
+        if lie is None:
+            pytest.skip("backend has no lower layer that could lie")
+        rows = self.rows()
+        attrs = ("k",)
+        keys = [("a",), ("b",), ("zz",)]
+        truth = {
+            ("a",): (rows[0], rows[2]),
+            ("b",): (rows[1],),
+            ("zz",): (),
+        }
+        with lie:
+            with pytest.raises(StoreProtocolError):
+                store.probe_many(attrs, keys)
+        # with the liar gone, every key answers from truth — had the
+        # lying exchange cached anything, ("b",) or ("zz",) would now
+        # resolve to a stale () / wrong pairing
+        assert store.probe_many(attrs, keys) == truth
+        for key in keys:
+            assert store.probe(attrs, key) == truth[key]
 
     # -- versioning and mutation ---------------------------------------------
 

@@ -1,0 +1,547 @@
+"""ShardedStore coordinator behavior beyond the conformance contract.
+
+The conformance kit (``tests/test_store_conformance.py``) already proves
+ShardedStore is a lawful MasterStore over memory and remote shards; this
+file pins the fleet-specific semantics: stable routing, scatter-gather
+strictness, undecidable-key failure typing, bounded retry/backoff and
+health accounting, offline resharding, and — the acceptance bar — a
+hypothesis fuzz showing the coordinator over {1, 2, 3} shards is
+bit-identical to a plain InMemoryStore under random interleavings of
+probes, mutations, and repair runs.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.rules import EditingRule
+from repro.engine.relation import Relation
+from repro.engine.schema import INT, RelationSchema
+from repro.engine.sharded import (
+    ShardedStore,
+    ShardUnavailableError,
+    reshard,
+    shard_of,
+)
+from repro.engine.store import (
+    InMemoryStore,
+    StoreProtocolError,
+    StoreUnavailableError,
+)
+from repro.engine.tuples import Row
+from repro.repair.batch import BatchRepairEngine
+from repro.repair.oracle import SimulatedUser
+
+from store_conformance import conformance_rows, conformance_schema
+
+
+def _fleet(n, schema=None, rows=()):
+    schema = schema or conformance_schema()
+    store = ShardedStore(
+        [InMemoryStore(Relation(schema)) for _ in range(n)],
+        route_attrs=("k",),
+        rows=rows,
+    )
+    return store
+
+
+# -- routing ------------------------------------------------------------------
+
+
+def test_routing_is_stable_and_respects_value_equality():
+    # equal Python values must land on the same shard regardless of type
+    for n in (1, 2, 3, 7):
+        assert shard_of((2,), n) == shard_of((2.0,), n)
+        assert shard_of((True,), n) == shard_of((1,), n)
+        assert 0 <= shard_of(("a", 3), n) < n
+    # unstorable values route nowhere
+    assert shard_of((object(),), 3) is None
+
+
+def test_rows_land_on_their_hash_shard():
+    schema = conformance_schema()
+    store = _fleet(3, schema, rows=conformance_rows(schema))
+    for index, shard in enumerate(store.shards):
+        for row in shard:
+            assert shard_of((row["k"],), 3) == index
+    store.close()
+
+
+def test_constructor_validation():
+    schema = conformance_schema()
+    with pytest.raises(ValueError, match="at least one shard"):
+        ShardedStore([])
+    other = RelationSchema("m", ["a", "b"])
+    with pytest.raises(ValueError, match="schemas disagree"):
+        ShardedStore([
+            InMemoryStore(Relation(schema)),
+            InMemoryStore(Relation(other)),
+        ])
+    with pytest.raises(KeyError, match="no attribute 'nope'"):
+        ShardedStore(
+            [InMemoryStore(Relation(schema))], route_attrs=("nope",)
+        )
+
+
+def test_routable_probe_asks_one_shard_broadcast_asks_all():
+    schema = conformance_schema()
+    store = _fleet(3, schema, rows=conformance_rows(schema))
+    probes_before = [shard.probe_ref_calls for shard in store.shards]
+
+    store.probe(("k", "v"), ("a", "x"))  # covers route_attrs: routable
+    assert store.broadcast_probes == 0
+
+    store.probe(("n",), (2,))  # cannot route: every shard asked
+    assert store.broadcast_probes == 1
+    del probes_before  # counters live on InMemoryStore.probe_ref only
+
+    out = store.probe_many(("v", "n"), [("x", 1), ("y", 2)])
+    assert store.broadcast_probes == 2
+    assert out[("x", 1)] == store.probe(("v", "n"), ("x", 1))
+    store.close()
+
+
+def test_unstorable_keys_and_rows():
+    store = _fleet(2)
+    schema = store.schema
+    assert store.probe(("k",), (object(),)) == ()
+    assert store.probe_many(("k",), [(object(),)]) != {}
+    with pytest.raises(TypeError, match="unstorable routing key"):
+        store.insert(Row(schema, (object(), "x", 1)))
+    assert store.delete(Row(schema, (object(), "x", 1))) is False
+    store.close()
+
+
+# -- scatter strictness and failure typing ------------------------------------
+
+
+class _FlakyShard:
+    """Delegates to a real shard, failing the first *fail* calls of the
+    instrumented methods with StoreUnavailableError."""
+
+    shares_storage_across_processes = False
+
+    def __init__(self, real, fail):
+        self._real = real
+        self.fail = fail
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+    def __len__(self):
+        return len(self._real)
+
+    def __iter__(self):
+        return iter(self._real)
+
+    def _maybe_fail(self):
+        if self.fail > 0:
+            self.fail -= 1
+            raise StoreUnavailableError("shard down (simulated)")
+
+    def probe(self, attrs, key):
+        self._maybe_fail()
+        return self._real.probe(attrs, key)
+
+    def probe_many(self, attrs, keys):
+        self._maybe_fail()
+        return self._real.probe_many(attrs, keys)
+
+    def insert(self, row):
+        self._maybe_fail()
+        return self._real.insert(row)
+
+
+def _flaky_fleet(fail, retries=3, backoff=0.001):
+    schema = conformance_schema()
+    inner = ShardedStore(
+        [InMemoryStore(Relation(schema)) for _ in range(2)],
+        route_attrs=("k",),
+        rows=conformance_rows(schema),
+    )
+    shards = [_FlakyShard(s, fail) for s in inner.shards]
+    return ShardedStore(
+        shards, route_attrs=("k",),
+        retries=retries, backoff=backoff, max_backoff=0.002,
+    )
+
+
+def test_transient_failure_is_ridden_out_and_accounted():
+    store = _flaky_fleet(fail=2)
+    rows = conformance_rows(conformance_schema())
+    assert store.probe(("k",), ("a",)) == (rows[0], rows[2])
+    health = store.health[shard_of(("a",), 2)]
+    assert health.retries == 2
+    assert health.total_failures == 2
+    assert health.failures == 0  # consecutive count reset by success
+    assert "simulated" in health.last_error
+    info = store.shard_info()
+    assert info["shards"] == 2 and info["route_attrs"] == ["k"]
+
+
+def test_exhausted_retries_raise_typed_error_with_undecidable_keys():
+    store = _flaky_fleet(fail=99, retries=1)
+    with pytest.raises(ShardUnavailableError) as exc_info:
+        store.probe_many(("k",), [("a",), ("b",), ("c",)])
+    err = exc_info.value
+    assert isinstance(err, StoreUnavailableError)
+    assert err.shard in (0, 1)
+    # the undecidable keys ride on the error — never resolved as ()
+    assert err.keys and set(err.keys) <= {("a",), ("b",), ("c",)}
+    assert "unavailable after 2 attempt(s)" in str(err)
+    assert store.health[err.shard].retries >= 1
+
+
+def test_mutations_are_never_replayed_by_the_coordinator():
+    store = _flaky_fleet(fail=1)
+    schema = conformance_schema()
+    with pytest.raises(ShardUnavailableError, match="after 1 attempt"):
+        store.insert(Row(schema, ("d", "z", 9)))
+    target = shard_of(("d",), 2)
+    assert store.health[target].retries == 0  # no blind insert replay
+    # the shard is back up: the caller's own retry lands exactly once
+    store.insert(Row(schema, ("d", "z", 9)))
+    assert store.probe(("k",), ("d",)) == (Row(schema, ("d", "z", 9)),)
+
+
+def test_lying_shard_fails_scatter_reconciliation():
+    schema = conformance_schema()
+    store = _fleet(2, schema, rows=conformance_rows(schema))
+    victim = store.shards[shard_of(("a",), 2)]
+    real = victim.probe_many
+    victim.probe_many = lambda attrs, keys: dict(
+        itertools.islice(real(attrs, keys).items(), 1)
+    )
+    with pytest.raises(StoreProtocolError, match="refusing to merge"):
+        store.probe_many(("k",), [("a",), ("b",), ("c",), ("d",)])
+    del victim.probe_many
+    # nothing merged, nothing cached: full truth afterwards
+    out = store.probe_many(("k",), [("a",), ("b",)])
+    assert out[("a",)] == store.probe(("k",), ("a",))
+    store.close()
+
+
+# -- resharding ---------------------------------------------------------------
+
+
+def test_reshard_split_preserves_rows_order_and_placement():
+    schema = conformance_schema()
+    source = _fleet(2, schema, rows=conformance_rows(schema))
+    source.insert(Row(schema, ("d", "z", 9)))
+    wider = reshard(
+        source, [InMemoryStore(Relation(schema)) for _ in range(4)]
+    )
+    assert list(wider) == list(source)
+    assert len(wider.shards) == 4
+    for index, shard in enumerate(wider.shards):
+        for row in shard:
+            assert shard_of((row["k"],), 4) == index
+    # merge back down to a single-shard fleet
+    narrow = reshard(wider, [InMemoryStore(Relation(schema))])
+    assert list(narrow) == list(source)
+    source.close(), wider.close(), narrow.close()
+
+
+def test_reshard_refuses_nonempty_destinations():
+    schema = conformance_schema()
+    source = _fleet(2, schema, rows=conformance_rows(schema))
+    dirty = InMemoryStore(Relation(schema, conformance_rows(schema)))
+    with pytest.raises(ValueError, match="must be empty"):
+        reshard(source, [dirty])
+    source.close()
+
+
+def test_reshard_accepts_relation_and_iterable_sources():
+    schema = conformance_schema()
+    rows = conformance_rows(schema)
+    via_relation = reshard(
+        Relation(schema, rows),
+        [InMemoryStore(Relation(schema)) for _ in range(2)],
+        route_attrs=("k",),
+    )
+    via_rows = reshard(
+        rows, [InMemoryStore(Relation(schema)) for _ in range(2)],
+        route_attrs=("k",),
+    )
+    assert list(via_relation) == rows == list(via_rows)
+
+
+# -- composite versioning ------------------------------------------------------
+
+
+def test_composite_version_is_sum_of_shard_versions():
+    schema = conformance_schema()
+    store = _fleet(3, schema, rows=conformance_rows(schema))
+    assert store.version == sum(s.version for s in store.shards)
+    store.insert(Row(schema, ("d", "z", 9)))
+    assert store.version == sum(s.version for s in store.shards)
+    store.close()
+
+
+def test_foreign_shard_mutations_fold_into_composite_journal():
+    schema = conformance_schema()
+    store = _fleet(2, schema, rows=conformance_rows(schema))
+    v0 = store.version
+    extra = Row(schema, ("d", "z", 9))
+    target = store.shards[shard_of(("d",), 2)]
+    target.insert(extra)  # behind the coordinator's back
+    assert store.version == v0 + 1
+    deltas = store.deltas_since(v0)
+    assert [(d.op, d.values) for d in deltas] == [
+        ("insert", ("d", "z", 9))
+    ]
+    assert store.probe(("k",), ("d",)) == (extra,)
+    store.close()
+
+
+def test_shard_journal_gap_gaps_the_composite_journal():
+    schema = conformance_schema()
+    store = ShardedStore(
+        [InMemoryStore(Relation(schema), delta_window=4) for _ in range(2)],
+        route_attrs=("k",),
+        rows=conformance_rows(schema),
+    )
+    v0 = store.version
+    target = store.shards[shard_of(("g0",), 2)]
+    # overflow one shard's journal behind the coordinator's back
+    for i in range(6):
+        target.insert(Row(schema, ("g0", f"w{i}", i)))
+    assert store.deltas_since(v0) is None  # full-drop fallback preserved
+    assert store.version == v0 + 6
+    # iteration still serves every row (shard-major after degradation)
+    assert len(list(store)) == len(store)
+    store.close()
+
+
+# -- CLI surface --------------------------------------------------------------
+
+
+def _hash_partition(relation, count):
+    """Partition a relation's rows the way the fleet routing hash does,
+    on the schema's first attribute (the CLI default)."""
+    parts = [[] for _ in range(count)]
+    for row in relation.iter_rows():
+        parts[shard_of((row.values[0],), count)].append(row)
+    return parts
+
+
+def test_sharded_cli_batch_repair_matches_memory(tmp_path, hosp, hosp_dirty):
+    """--master-backend sharded --shard-urls against two live shard
+    servers writes the same repaired CSV as the memory backend."""
+    from repro.cli import main as cli_main
+    from repro.engine.csvio import relation_to_csv
+    from repro.engine.remote import MasterServer
+    from repro.io import dumps as rules_dumps
+
+    relation_to_csv(hosp.master, tmp_path / "master.csv")
+    (tmp_path / "rules.json").write_text(rules_dumps(hosp.rules) + "\n")
+    data = list(hosp_dirty)[:10]
+    relation_to_csv(Relation(hosp.schema, (d.dirty for d in data)),
+                    tmp_path / "dirty.csv")
+    relation_to_csv(Relation(hosp.schema, (d.clean for d in data)),
+                    tmp_path / "clean.csv")
+
+    common = [
+        "batch-repair", "--rules", str(tmp_path / "rules.json"),
+        "--input", str(tmp_path / "dirty.csv"),
+        "--clean", str(tmp_path / "clean.csv"),
+    ]
+    assert cli_main(common + [
+        "--master", str(tmp_path / "master.csv"),
+        "--output", str(tmp_path / "fixed_memory.csv"),
+    ]) == 0
+
+    parts = _hash_partition(hosp.master, 2)
+    backings = [
+        InMemoryStore(Relation(hosp.schema, part)) for part in parts
+    ]
+    with MasterServer(backings[0]) as s0, MasterServer(backings[1]) as s1:
+        assert cli_main(common + [
+            "--master-backend", "sharded",
+            "--shard-urls", s0.url, s1.url,
+            "--output", str(tmp_path / "fixed_sharded.csv"),
+            "--report", str(tmp_path / "report.json"),
+        ]) == 0
+
+    assert (tmp_path / "fixed_sharded.csv").read_text() == \
+        (tmp_path / "fixed_memory.csv").read_text()
+
+    import json
+    report = json.loads((tmp_path / "report.json").read_text())
+    assert report["connection"]["shards"] == 2
+    assert len(report["connection"]["per_shard"]) == 2
+    assert "probe_cache" in report
+
+
+def test_sharded_cli_argument_validation(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    (tmp_path / "rules.json").write_text("[]\n")
+    base = ["batch-repair", "--rules", str(tmp_path / "rules.json"),
+            "--input", "x.csv", "--clean", "y.csv"]
+    assert cli_main(base + ["--master-backend", "sharded"]) == 2
+    assert "--shard-urls" in capsys.readouterr().err
+    assert cli_main(base + ["--master-backend", "sharded",
+                            "--shard-urls", "http://127.0.0.1:1",
+                            "--master", "m.csv"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_serve_master_shard_filter_partitions_the_csv(tmp_path, hosp):
+    """`serve-master --shard i/N` loads exactly the rows the routing hash
+    places on shard i — together the N servers hold the master once."""
+    from repro.cli import _load_master_store, build_parser
+    from repro.engine.csvio import relation_from_csv, relation_to_csv
+
+    relation_to_csv(hosp.master, tmp_path / "master.csv")
+    parser = build_parser()
+    loaded = []
+    for i in range(2):
+        args = parser.parse_args([
+            "serve-master", "--master", str(tmp_path / "master.csv"),
+            "--shard", f"{i}/2",
+        ])
+        loaded.append(_load_master_store(args))
+    # compare against partitioning the same CSV load (the CSV round-trip
+    # stringifies typed cells; routing happens on the loaded values)
+    expected = _hash_partition(
+        relation_from_csv(str(tmp_path / "master.csv")), 2
+    )
+    for part, relation in zip(expected, loaded):
+        assert [tuple(r.values) for r in relation.iter_rows()] == \
+            [tuple(r.values) for r in part]
+    total = sum(len(list(r.iter_rows())) for r in loaded)
+    assert total == len(list(hosp.master.iter_rows()))
+
+    with pytest.raises(ValueError, match="--shard must look like i/N"):
+        args = parser.parse_args([
+            "serve-master", "--master", str(tmp_path / "master.csv"),
+            "--shard", "nope",
+        ])
+        _load_master_store(args)
+    with pytest.raises(ValueError, match="out of range"):
+        args = parser.parse_args([
+            "serve-master", "--master", str(tmp_path / "master.csv"),
+            "--shard", "2/2",
+        ])
+        _load_master_store(args)
+
+
+# -- fuzz: fleet ≡ single store ------------------------------------------------
+
+
+def test_hypothesis_sharded_vs_memory_interleavings():
+    """Property test (acceptance bar): ShardedStore over {1, 2, 3} memory
+    shards is bit-identical to a plain InMemoryStore — fix outputs and
+    version observations — under random probe / insert / delete / update
+    interleavings driven (and shrunk) by hypothesis."""
+    hypothesis = pytest.importorskip("hypothesis")
+    st = hypothesis.strategies
+
+    keys = [f"k{i}" for i in range(5)]
+
+    def tiny_bundle():
+        schema = RelationSchema("T", ["key", "val"])
+        rules = [EditingRule(("key",), ("key",), "val", "val",
+                             name="key->val")]
+        rows = [Row(schema, ("k1", "v1")), Row(schema, ("k2", "v2"))]
+        return schema, rules, rows
+
+    @hypothesis.settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[hypothesis.HealthCheck.too_slow,
+                               hypothesis.HealthCheck.data_too_large],
+    )
+    @hypothesis.given(data=st.data())
+    def run(data):
+        schema, rules, rows = tiny_bundle()
+        stores = {"memory": InMemoryStore(Relation(schema, list(rows)))}
+        for n in (1, 2, 3):
+            stores[f"sharded{n}"] = ShardedStore(
+                [InMemoryStore(Relation(schema)) for _ in range(n)],
+                route_attrs=("key",),
+                rows=list(rows),
+            )
+        engines = {
+            name: BatchRepairEngine(rules, store, schema, use_bdd=False)
+            for name, store in stores.items()
+        }
+        known = list(rows)
+        next_id = [0]
+
+        def everywhere(op, *args):
+            results = {n: getattr(s, op)(*args) for n, s in stores.items()}
+            assert len(set(map(bool, results.values()))) == 1
+            return results["memory"]
+
+        def do_insert():
+            key = data.draw(st.sampled_from(keys), label="insert key")
+            row = Row(schema, (key, f"v{next_id[0]}"))
+            next_id[0] += 1
+            # unique keys per master, or the rule hits a MasterConflict
+            for existing in list(known):
+                if existing["key"] == key:
+                    assert everywhere("delete", existing)
+                    known.remove(existing)
+            everywhere("insert", row)
+            known.append(row)
+
+        def do_delete():
+            if len(known) <= 1:
+                return
+            victim = known.pop(
+                data.draw(st.integers(0, len(known) - 1), label="victim")
+            )
+            assert everywhere("delete", victim)
+
+        def do_update():
+            if not known:
+                return
+            index = data.draw(st.integers(0, len(known) - 1),
+                              label="update index")
+            old = known[index]
+            new = Row(schema, (old["key"], f"v{next_id[0]}"))
+            next_id[0] += 1
+            assert everywhere("update", old, new)
+            known[index] = new
+
+        def do_probe():
+            key = data.draw(st.sampled_from(keys), label="probe key")
+            expected = stores["memory"].probe(("key",), (key,))
+            for name, store in stores.items():
+                assert store.probe(("key",), (key,)) == expected, name
+            many = stores["memory"].probe_many(("key",), [(k,) for k in keys])
+            for name, store in stores.items():
+                assert store.probe_many(
+                    ("key",), [(k,) for k in keys]
+                ) == many, name
+
+        actions = {"insert": do_insert, "delete": do_delete,
+                   "update": do_update, "probe": do_probe}
+        for _ in range(data.draw(st.integers(2, 8), label="ops")):
+            before = {n: s.version for n, s in stores.items()}
+            actions[data.draw(st.sampled_from(sorted(actions)),
+                              label="action")]()
+            # version observations move in lockstep across all backends
+            moved = {n: s.version > before[n] for n, s in stores.items()}
+            assert len(set(moved.values())) == 1
+
+            if not known:
+                continue
+            target = known[data.draw(
+                st.integers(0, len(known) - 1), label="target")]
+            dirty = Row(schema, (target["key"], "dirty"))
+            clean = Row(schema, (target["key"], target["val"]))
+            finals = {
+                name: engine.run(
+                    [(dirty, SimulatedUser(clean))]
+                ).sessions[0].final
+                for name, engine in engines.items()
+            }
+            assert all(final == clean for final in finals.values()), finals
+        reference = list(stores["memory"])
+        for name, store in stores.items():
+            assert list(store) == reference, name
+
+    run()

@@ -5,13 +5,35 @@ One subclass per backend; the contract itself lives in
 adding a subclass with a ``store`` fixture — nothing else.
 """
 
+import contextlib
+
 import pytest
 
 from repro.engine.relation import Relation
 from repro.engine.remote import MasterServer, RemoteStore
+from repro.engine.sharded import ShardedStore
 from repro.engine.store import InMemoryStore, SqliteStore
 
 from store_conformance import StoreConformance, conformance_rows
+
+
+@contextlib.contextmanager
+def _shards_lie(store, skew):
+    """Make every shard of a ShardedStore answer one key too few/many."""
+    for shard in store.shards:
+        def lying(attrs, keys, _real=shard.probe_many):
+            out = dict(_real(attrs, keys))
+            if skew < 0:
+                out.pop(next(iter(out)))
+            else:
+                out[("__liar__",) * len(tuple(attrs))] = ()
+            return out
+        shard.probe_many = lying
+    try:
+        yield
+    finally:
+        for shard in store.shards:
+            del shard.probe_many
 
 
 class TestInMemoryStoreConformance(StoreConformance):
@@ -66,3 +88,73 @@ class TestRemoteStoreConformance(StoreConformance):
             client = RemoteStore(server.url)
             yield client
             client.close()
+
+    def lie_probe_many(self, store, skew):
+        # Tamper with the wire payload below the client's accounting:
+        # the server answered, the transport delivered, the body lies.
+        @contextlib.contextmanager
+        def lie():
+            real = store._request
+
+            def lying(method, path, payload=None, idempotent=True):
+                body, version = real(method, path, payload, idempotent)
+                if path.startswith("/probe_many"):
+                    results = list(body["results"])
+                    if skew < 0:
+                        results.pop()
+                    else:
+                        results.append([])
+                    body = dict(body, results=results)
+                return body, version
+
+            store._request = lying
+            try:
+                yield
+            finally:
+                del store._request
+
+        return lie()
+
+
+class TestShardedMemoryStoreConformance(StoreConformance):
+    """The scatter-gather coordinator over two in-memory shards."""
+
+    @pytest.fixture
+    def store(self):
+        schema = self.schema()
+        backend = ShardedStore(
+            [InMemoryStore(Relation(schema)) for _ in range(2)],
+            route_attrs=("k",),
+            rows=conformance_rows(schema),
+        )
+        yield backend
+        backend.close()
+
+    def resync(self, parent, clone):
+        # Memory shards are snapshots: ship rows + stamp, as for the
+        # plain in-memory backend (rows re-route by hash on the way in).
+        clone.reset_rows(tuple(parent), parent.version)
+
+    def lie_probe_many(self, store, skew):
+        return _shards_lie(store, skew)
+
+
+class TestShardedRemoteStoreConformance(StoreConformance):
+    """The fleet deployment shape: the coordinator over two RemoteStore
+    clients, each against its own memory-backed MasterServer."""
+
+    @pytest.fixture
+    def store(self):
+        schema = self.schema()
+        with MasterServer(InMemoryStore(Relation(schema))) as s0, \
+                MasterServer(InMemoryStore(Relation(schema))) as s1:
+            backend = ShardedStore(
+                [RemoteStore(s0.url), RemoteStore(s1.url)],
+                route_attrs=("k",),
+                rows=conformance_rows(schema),
+            )
+            yield backend
+            backend.close()
+
+    def lie_probe_many(self, store, skew):
+        return _shards_lie(store, skew)
